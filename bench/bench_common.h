@@ -1,0 +1,48 @@
+// Shared helpers for the benchmark harnesses.
+//
+// Every bench accepts two environment variables:
+//   FBIST_QUICK=1  -> restrict to the small/medium circuit subset (CI)
+//   FBIST_CIRCUITS=c432,s1238 -> explicit comma-separated circuit list
+#pragma once
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "circuits/registry.h"
+
+namespace fbist::bench {
+
+/// Circuits a bench run should evaluate, honouring the env overrides.
+inline std::vector<std::string> selected_circuits() {
+  if (const char* list = std::getenv("FBIST_CIRCUITS")) {
+    std::vector<std::string> names;
+    std::stringstream ss(list);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+      if (!tok.empty()) names.push_back(tok);
+    }
+    if (!names.empty()) return names;
+  }
+  const bool quick = std::getenv("FBIST_QUICK") != nullptr;
+  std::vector<std::string> names;
+  for (const auto& p : circuits::benchmark_profiles()) {
+    if (p.name == "c17") continue;  // demo circuit, not in the paper's tables
+    if (quick && p.num_gates > 600) continue;
+    names.push_back(p.name);
+  }
+  return names;
+}
+
+/// Per-triplet evolution length used by the table benches ("experimentally
+/// tuned" in the paper; one shared value keeps the harness reproducible).
+inline std::size_t default_cycles() {
+  if (const char* c = std::getenv("FBIST_CYCLES")) {
+    const long v = std::strtol(c, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return 64;
+}
+
+}  // namespace fbist::bench

@@ -1,0 +1,147 @@
+// Substrate micro-benchmarks (google-benchmark).
+//
+// Not a paper table: these quantify the throughput of the building
+// blocks that make the table benches affordable — the 64-way parallel
+// fault simulator, the matrix reduction and the exact solver.
+#include <benchmark/benchmark.h>
+
+#include "atpg/engine.h"
+#include "atpg/scoap.h"
+#include "bist/misr.h"
+#include "circuits/registry.h"
+#include "tpg/triplet.h"
+#include "cover/exact.h"
+#include "cover/greedy.h"
+#include "cover/reduce.h"
+#include "sim/fault_sim.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace fbist;
+
+void BM_LogicSim(benchmark::State& state) {
+  const auto nl = circuits::make_circuit("c880");
+  sim::LogicSim sim(nl);
+  util::Rng rng(1);
+  const auto ps = sim::PatternSet::random(nl.num_inputs(), 1024, rng);
+  for (auto _ : state) {
+    auto blocks = sim.simulate(ps);
+    benchmark::DoNotOptimize(blocks);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_LogicSim)->Unit(benchmark::kMicrosecond);
+
+void BM_FaultSim(benchmark::State& state) {
+  const auto nl = circuits::make_circuit("c880");
+  const auto fl = fault::FaultList::collapsed(nl);
+  sim::FaultSim fsim(nl, fl);
+  util::Rng rng(2);
+  const auto ps = sim::PatternSet::random(
+      nl.num_inputs(), static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    auto r = fsim.run(ps);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * static_cast<std::int64_t>(fl.size()));
+}
+BENCHMARK(BM_FaultSim)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+cover::DetectionMatrix random_matrix(std::size_t R, std::size_t C,
+                                     double density, std::uint64_t seed) {
+  util::Rng rng(seed);
+  cover::DetectionMatrix m(R, C);
+  for (std::size_t r = 0; r < R; ++r) {
+    for (std::size_t c = 0; c < C; ++c) {
+      if (rng.next_bool(density)) m.set(r, c);
+    }
+  }
+  for (std::size_t c = 0; c < C; ++c) m.set(rng.next_below(R), c);
+  return m;
+}
+
+void BM_Reduce(benchmark::State& state) {
+  const auto m = random_matrix(static_cast<std::size_t>(state.range(0)),
+                               static_cast<std::size_t>(state.range(0)) * 8,
+                               0.05, 3);
+  for (auto _ : state) {
+    auto r = cover::reduce(m);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_Reduce)->Arg(50)->Arg(150)->Unit(benchmark::kMillisecond);
+
+void BM_ExactSolver(benchmark::State& state) {
+  const auto m = random_matrix(static_cast<std::size_t>(state.range(0)),
+                               static_cast<std::size_t>(state.range(0)) * 2,
+                               0.15, 4);
+  for (auto _ : state) {
+    auto s = cover::solve_exact(m);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_ExactSolver)->Arg(20)->Arg(40)->Unit(benchmark::kMillisecond);
+
+void BM_GreedySolver(benchmark::State& state) {
+  const auto m = random_matrix(static_cast<std::size_t>(state.range(0)),
+                               static_cast<std::size_t>(state.range(0)) * 2,
+                               0.15, 4);
+  for (auto _ : state) {
+    auto s = cover::solve_greedy(m);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_GreedySolver)->Arg(20)->Arg(40)->Unit(benchmark::kMicrosecond);
+
+void BM_Atpg(benchmark::State& state) {
+  const auto nl = circuits::make_circuit("c432");
+  const auto fl = fault::FaultList::collapsed(nl);
+  for (auto _ : state) {
+    auto r = atpg::run_atpg(nl, fl);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_Atpg)->Unit(benchmark::kMillisecond);
+
+void BM_Scoap(benchmark::State& state) {
+  const auto nl = circuits::make_circuit("s9234");
+  for (auto _ : state) {
+    auto s = atpg::compute_scoap(nl);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_Scoap)->Unit(benchmark::kMillisecond);
+
+void BM_MisrSignature(benchmark::State& state) {
+  const bist::Misr misr(64);
+  util::Rng rng(5);
+  std::vector<util::WideWord> stream;
+  for (int i = 0; i < 4096; ++i) {
+    stream.push_back(util::WideWord::random(64, rng));
+  }
+  for (auto _ : state) {
+    auto sig = misr.signature(stream);
+    benchmark::DoNotOptimize(sig);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_MisrSignature)->Unit(benchmark::kMicrosecond);
+
+void BM_TripletExpansion(benchmark::State& state) {
+  const auto t = tpg::make_tpg(tpg::TpgKind::kMultiplier, 256);
+  util::Rng rng(9);
+  tpg::Triplet trip;
+  trip.delta = util::WideWord::random(256, rng);
+  trip.sigma = t->legalize_sigma(util::WideWord::random(256, rng));
+  trip.cycles = 1024;
+  for (auto _ : state) {
+    auto ps = tpg::expand_triplet(*t, trip);
+    benchmark::DoNotOptimize(ps);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_TripletExpansion)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

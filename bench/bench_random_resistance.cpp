@@ -1,0 +1,62 @@
+// Premise check — "not random testable by 10k patterns".
+//
+// The paper selects its evaluation circuits because plain randomness
+// stalls below complete coverage within 10k patterns, which is what
+// makes deterministic reseeding worth its ROM.  This harness quantifies
+// that premise on our benchmark look-alikes: coverage of (a) uniform
+// random, (b) ATPG-weighted random, both capped at 10k patterns, vs (c)
+// the set-covering reseeding solution (always complete on its targeted
+// faults, with a test length 1-2 orders of magnitude shorter).
+#include <iostream>
+
+#include "baseline/weighted_random.h"
+#include "bench_common.h"
+#include "reseed/pipeline.h"
+#include "util/table.h"
+
+int main() {
+  using namespace fbist;
+
+  auto circuits = bench::selected_circuits();
+  if (circuits.size() > 10) circuits.resize(10);
+  const std::size_t cycles = bench::default_cycles();
+
+  util::Table table(
+      "Random resistance: uniform / weighted random (<=10k patterns) vs reseeding");
+  table.set_header({"circuit", "uniform FC%", "weighted FC%", "reseed FC%",
+                    "reseed len", "reseed #T"});
+
+  for (const auto& name : circuits) {
+    std::cout << "[random-resistance] " << name << " ..." << std::flush;
+    reseed::Pipeline pipe(name);
+    const auto& fsim = pipe.fault_sim();
+
+    baseline::WeightedRandomOptions wopts;
+    wopts.max_patterns = 10'000;
+    wopts.seed = util::hash_string(name);
+    const auto uniform = baseline::run_weighted_random(
+        fsim, sim::PatternSet(pipe.circuit().num_inputs(), 0), wopts);
+    const auto weighted =
+        baseline::run_weighted_random(fsim, pipe.atpg_patterns(), wopts);
+
+    const auto sol = pipe.run(tpg::TpgKind::kAdder, cycles);
+    const double reseed_fc =
+        100.0 * static_cast<double>(sol.faults_covered) /
+        static_cast<double>(sol.faults_targeted + sol.faults_uncoverable);
+
+    table.add_row({name,
+                   util::Table::fmt(uniform.coverage_percent(), 2),
+                   util::Table::fmt(weighted.coverage_percent(), 2),
+                   util::Table::fmt(reseed_fc, 2),
+                   std::to_string(sol.test_length),
+                   std::to_string(sol.num_triplets())});
+    std::cout << " done\n";
+  }
+
+  std::cout << '\n';
+  table.print(std::cout);
+  std::cout << "\n(uniform/weighted columns below 100% reproduce the paper's"
+               " circuit-selection premise;\n the reseeding column covers all"
+               " faults its candidates can reach, in far fewer cycles)\n";
+  return 0;
+}

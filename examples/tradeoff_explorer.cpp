@@ -1,0 +1,70 @@
+// Trade-off explorer: area (reseedings) vs test time (pattern count).
+//
+// Reproduces the Figure-2 experiment interactively: sweeps the per-
+// triplet evolution length T on a chosen circuit and prints the curve,
+// letting a DFT engineer pick the knee point for their ROM/test-time
+// budget.
+//
+//   $ ./tradeoff_explorer [circuit] [tpg]
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "reseed/pipeline.h"
+#include "reseed/tradeoff.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace fbist;
+
+  const std::string circuit = argc > 1 ? argv[1] : "s420";
+  const std::string tpg_name = argc > 2 ? argv[2] : "adder";
+
+  tpg::TpgKind kind = tpg::TpgKind::kAdder;
+  if (tpg_name == "subtracter") kind = tpg::TpgKind::kSubtracter;
+  else if (tpg_name == "multiplier") kind = tpg::TpgKind::kMultiplier;
+  else if (tpg_name == "lfsr") kind = tpg::TpgKind::kLfsr;
+
+  reseed::Pipeline pipeline(circuit);
+  const auto tpg = tpg::make_tpg(kind, pipeline.circuit().num_inputs());
+
+  reseed::TradeoffOptions opts;
+  opts.cycle_values = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512};
+  opts.builder.shared_sigma = true;
+
+  std::cout << "sweeping T on " << circuit << " with " << tpg->name()
+            << " TPG...\n";
+  const auto points = reseed::tradeoff_sweep(pipeline.fault_sim(), *tpg,
+                                             pipeline.atpg_patterns(), opts);
+
+  util::Table table("Reseedings vs test length (" + circuit + ", " +
+                    tpg->name() + ")");
+  table.set_header({"T", "#reseedings", "test length", "ROM bits"});
+  const std::size_t width = pipeline.circuit().num_inputs();
+  for (const auto& p : points) {
+    table.add_row({std::to_string(p.cycles_per_triplet),
+                   std::to_string(p.num_triplets),
+                   std::to_string(p.test_length),
+                   std::to_string(p.num_triplets * (2 * width + 32))});
+  }
+  table.print(std::cout);
+
+  // Simple knee suggestion: first point whose triplet count stops
+  // improving by more than 10%.
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    const double gain =
+        static_cast<double>(points[i - 1].num_triplets -
+                            points[i].num_triplets) /
+        static_cast<double>(points[i - 1].num_triplets == 0
+                                ? 1
+                                : points[i - 1].num_triplets);
+    if (gain < 0.10) {
+      std::cout << "\nsuggested operating point: T="
+                << points[i - 1].cycles_per_triplet << " ("
+                << points[i - 1].num_triplets << " reseedings, "
+                << points[i - 1].test_length << " cycles)\n";
+      break;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+#include "atpg/compaction.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fbist::atpg {
+
+bool TestCube::compatible_with(const TestCube& o) const {
+  if (pattern.bits() != o.pattern.bits()) return false;
+  // Conflict iff (care & o.care) has a position where patterns differ.
+  util::WideWord both = care;
+  both.band(o.care);
+  util::WideWord diff = pattern;
+  diff.bxor(o.pattern);
+  diff.band(both);
+  return diff.is_zero();
+}
+
+void TestCube::merge(const TestCube& o) {
+  if (!compatible_with(o)) {
+    throw std::invalid_argument("TestCube::merge: incompatible cubes");
+  }
+  // Adopt o's values on positions only o cares about.
+  util::WideWord only_o = o.care;
+  {
+    util::WideWord not_mine(care.bits(), 0);
+    // not_mine = ~care restricted to width: build by xor with all-ones.
+    util::WideWord ones(care.bits());
+    for (std::size_t i = 0; i < care.bits(); ++i) ones.set_bit(i, true);
+    not_mine = care;
+    not_mine.bxor(ones);  // ~care
+    only_o.band(not_mine);
+  }
+  util::WideWord add = o.pattern;
+  add.band(only_o);
+  pattern.bxor(add);  // positions were 0 before (uncared), so xor = set
+  care.bxor(only_o);  // likewise
+}
+
+std::vector<TestCube> compact_cubes(std::vector<TestCube> cubes) {
+  // Most-specified first: big cubes act as seeds, small cubes fill in.
+  std::stable_sort(cubes.begin(), cubes.end(),
+                   [](const TestCube& a, const TestCube& b) {
+                     return a.care_count() > b.care_count();
+                   });
+  std::vector<TestCube> merged;
+  for (auto& cube : cubes) {
+    bool placed = false;
+    for (auto& acc : merged) {
+      if (acc.compatible_with(cube)) {
+        acc.merge(cube);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) merged.push_back(std::move(cube));
+  }
+  return merged;
+}
+
+std::size_t total_care_bits(const std::vector<TestCube>& cubes) {
+  std::size_t n = 0;
+  for (const auto& c : cubes) n += c.care_count();
+  return n;
+}
+
+}  // namespace fbist::atpg

@@ -1,0 +1,42 @@
+// Static test-cube compaction.
+//
+// PODEM produces *cubes*: partially-specified patterns (pattern bits +
+// care mask).  Two cubes are compatible when they agree on every
+// position both care about; compatible cubes merge into one cube whose
+// care set is the union.  Greedy pairwise merging shrinks the
+// deterministic pattern count before the cubes are X-filled into full
+// patterns — the static counterpart of the engine's dynamic
+// (fault-dropping) and reverse-order compaction stages.  The paper's
+// reference for this idea is COMPACTEST [15].
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/wideword.h"
+
+namespace fbist::atpg {
+
+/// A partially specified test pattern.
+struct TestCube {
+  util::WideWord pattern;  // values on care bits; 0 elsewhere
+  util::WideWord care;     // 1 = specified
+
+  /// True iff the cubes agree wherever both are specified.
+  bool compatible_with(const TestCube& o) const;
+  /// Merges `o` into *this (precondition: compatible).
+  void merge(const TestCube& o);
+  /// Number of specified bits.
+  std::size_t care_count() const { return care.popcount(); }
+};
+
+/// Greedy static compaction: repeatedly merges each cube into the first
+/// compatible accumulator cube (first-fit, most-specified cubes placed
+/// first).  Returns the merged cube list (never larger than the input).
+std::vector<TestCube> compact_cubes(std::vector<TestCube> cubes);
+
+/// Statistics helper: sum of care bits over all cubes (invariant under
+/// merging — used by tests).
+std::size_t total_care_bits(const std::vector<TestCube>& cubes);
+
+}  // namespace fbist::atpg

@@ -1,0 +1,63 @@
+// Deterministic ATPG driver — the TestGen substitute.
+//
+// Pipeline (standard industrial shape):
+//   1. random-pattern phase: 64-pattern blocks, fault simulation with
+//      dropping, stops after a run of unproductive blocks;
+//   2. deterministic phase: PODEM per remaining fault, X-fill, then the
+//      new pattern is fault-simulated against all remaining faults
+//      (fault dropping);
+//   3. reverse-order compaction: patterns are fault-simulated in reverse
+//      order; patterns that detect no yet-undetected fault are dropped.
+//
+// Output: a compacted complete test set plus the per-fault verdicts
+// (detected / proven redundant / aborted).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "atpg/podem.h"
+#include "fault/fault.h"
+#include "sim/fault_sim.h"
+#include "sim/pattern.h"
+#include "util/rng.h"
+
+namespace fbist::atpg {
+
+struct AtpgOptions {
+  std::size_t max_random_blocks = 64;      // cap on 64-pattern random blocks
+  std::size_t unproductive_block_limit = 3;  // stop random phase after N dry blocks
+  PodemOptions podem;
+  bool compact = true;  // reverse-order compaction pass
+  /// Static cube compaction (COMPACTEST-style): PODEM cubes for the
+  /// remaining faults are merged on compatibility *before* X-fill, so
+  /// one filled pattern serves several target faults.  Off by default —
+  /// the dynamic flow (fault dropping per generated pattern) usually
+  /// compacts as well; see AtpgEngine.StaticCompactionKeepsCoverage.
+  bool static_cube_compaction = false;
+  std::uint64_t seed = 1;
+};
+
+enum class FaultVerdict : std::uint8_t {
+  kDetected,
+  kRedundant,   // PODEM proved untestable
+  kAborted,     // PODEM hit the backtrack limit
+};
+
+struct AtpgResult {
+  sim::PatternSet patterns;               // final compacted test set
+  std::vector<FaultVerdict> verdict;      // per fault id
+  std::size_t random_patterns_used = 0;   // kept from the random phase
+  std::size_t deterministic_patterns = 0; // produced by PODEM
+  std::size_t redundant_faults = 0;
+  std::size_t aborted_faults = 0;
+
+  /// Detected / (total - redundant), in percent.
+  double testable_coverage_percent() const;
+};
+
+/// Runs the full ATPG flow for `faults` on `nl`.
+AtpgResult run_atpg(const netlist::Netlist& nl, const fault::FaultList& faults,
+                    const AtpgOptions& opts = {});
+
+}  // namespace fbist::atpg

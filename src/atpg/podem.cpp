@@ -1,0 +1,344 @@
+#include "atpg/podem.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "netlist/cone.h"
+#include "netlist/levelize.h"
+
+namespace fbist::atpg {
+
+using netlist::GateType;
+using netlist::NetId;
+
+namespace {
+
+std::uint8_t sat_add(std::uint8_t a, std::uint8_t b) {
+  const unsigned s = static_cast<unsigned>(a) + b;
+  return s > 250 ? 250 : static_cast<std::uint8_t>(s);
+}
+
+}  // namespace
+
+Podem::Podem(const netlist::Netlist& nl, PodemOptions opts)
+    : nl_(nl), opts_(opts), level_(netlist::levelize(nl)) {
+  // SCOAP-flavoured controllability: cost of setting each net to 0/1.
+  // Saturated small integers are plenty for backtrace tie-breaking.
+  const std::size_t n = nl_.num_nets();
+  cc0_.assign(n, 0);
+  cc1_.assign(n, 0);
+  for (NetId id = 0; id < n; ++id) {
+    const auto& g = nl_.gate(id);
+    switch (g.type) {
+      case GateType::kInput:
+        cc0_[id] = cc1_[id] = 1;
+        break;
+      case GateType::kBuf:
+        cc0_[id] = sat_add(cc0_[g.fanin[0]], 1);
+        cc1_[id] = sat_add(cc1_[g.fanin[0]], 1);
+        break;
+      case GateType::kNot:
+        cc0_[id] = sat_add(cc1_[g.fanin[0]], 1);
+        cc1_[id] = sat_add(cc0_[g.fanin[0]], 1);
+        break;
+      case GateType::kAnd:
+      case GateType::kNand: {
+        std::uint8_t all1 = 1, min0 = 250;
+        for (const NetId f : g.fanin) {
+          all1 = sat_add(all1, cc1_[f]);
+          min0 = std::min(min0, cc0_[f]);
+        }
+        const std::uint8_t out0 = sat_add(min0, 1);
+        if (g.type == GateType::kAnd) {
+          cc0_[id] = out0;
+          cc1_[id] = all1;
+        } else {
+          cc1_[id] = out0;
+          cc0_[id] = all1;
+        }
+        break;
+      }
+      case GateType::kOr:
+      case GateType::kNor: {
+        std::uint8_t all0 = 1, min1 = 250;
+        for (const NetId f : g.fanin) {
+          all0 = sat_add(all0, cc0_[f]);
+          min1 = std::min(min1, cc1_[f]);
+        }
+        const std::uint8_t out1 = sat_add(min1, 1);
+        if (g.type == GateType::kOr) {
+          cc1_[id] = out1;
+          cc0_[id] = all0;
+        } else {
+          cc0_[id] = out1;
+          cc1_[id] = all0;
+        }
+        break;
+      }
+      case GateType::kXor:
+      case GateType::kXnor: {
+        // Approximate: either parity costs roughly the sum of cheaper sides.
+        std::uint8_t acc = 1;
+        for (const NetId f : g.fanin) {
+          acc = sat_add(acc, std::min(cc0_[f], cc1_[f]));
+        }
+        cc0_[id] = cc1_[id] = acc;
+        break;
+      }
+    }
+  }
+}
+
+void Podem::imply_all(const fault::Fault& f) {
+  // Full forward pass in topological order; fault site override.
+  std::vector<Val5> fanin_buf;
+  for (NetId id = 0; id < nl_.num_nets(); ++id) {
+    const auto& g = nl_.gate(id);
+    if (g.type != GateType::kInput) {
+      fanin_buf.resize(g.fanin.size());
+      for (std::size_t i = 0; i < g.fanin.size(); ++i) {
+        fanin_buf[i] = value_[g.fanin[i]];
+      }
+      value_[id] = eval_gate5(g.type, fanin_buf.data(), fanin_buf.size());
+    }
+    if (id == f.net) {
+      // Faulty side of the fault site is pinned to the stuck value.
+      value_[id].faulty = f.stuck_value ? Tern::k1 : Tern::k0;
+    }
+  }
+}
+
+bool Podem::fault_activated(const fault::Fault& f) const {
+  const Val5& v = value_[f.net];
+  // Activated when the good value is the complement of the stuck value.
+  return v.good == (f.stuck_value ? Tern::k0 : Tern::k1);
+}
+
+bool Podem::d_at_output() const {
+  for (const NetId o : nl_.outputs()) {
+    if (value_[o].is_d_or_dbar()) return true;
+  }
+  return false;
+}
+
+bool Podem::d_frontier_nonempty(const fault::Fault& f) const {
+  // D-frontier: a gate whose output is X while some fanin carries D/D'.
+  // The fault site itself counts while its good side is X (activation
+  // still possible).  D values only exist inside the fanout cone.
+  const Val5& site = value_[f.net];
+  if (site.good == Tern::kX) return true;
+  const auto& fanouts = nl_.fanouts();
+  for (const NetId id : cone_nets_) {
+    if (!value_[id].is_d_or_dbar()) continue;
+    for (const NetId reader : fanouts[id]) {
+      if (value_[reader].good == Tern::kX || value_[reader].faulty == Tern::kX) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::optional<std::pair<NetId, Tern>> Podem::objective(const fault::Fault& f) const {
+  // Objective 1: activate the fault — drive the site's good value to the
+  // complement of the stuck value.
+  const Val5& site = value_[f.net];
+  if (site.good == Tern::kX) {
+    return std::make_pair(f.net, f.stuck_value ? Tern::k0 : Tern::k1);
+  }
+  if (!fault_activated(f)) return std::nullopt;  // good value fixed wrong
+
+  // Objective 2: advance the D-frontier gate closest to an output.
+  const auto& fanouts = nl_.fanouts();
+  NetId best_gate = netlist::kNullNet;
+  std::size_t best_level = 0;
+  for (const NetId id : cone_nets_) {
+    if (!value_[id].is_d_or_dbar()) continue;
+    for (const NetId reader : fanouts[id]) {
+      const Val5& rv = value_[reader];
+      if (rv.good != Tern::kX && rv.faulty != Tern::kX) continue;
+      if (best_gate == netlist::kNullNet || level_[reader] > best_level) {
+        best_gate = reader;
+        best_level = level_[reader];
+      }
+    }
+  }
+  if (best_gate == netlist::kNullNet) return std::nullopt;
+
+  // Set one X fanin of the frontier gate to the non-controlling value.
+  const auto& g = nl_.gate(best_gate);
+  Tern want;
+  if (netlist::has_controlling_value(g.type)) {
+    want = netlist::controlling_value(g.type) ? Tern::k0 : Tern::k1;
+  } else {
+    // XOR/XNOR/NOT/BUF: any definite value propagates; aim for the
+    // cheaper side of the first X fanin.
+    want = Tern::k0;
+  }
+  for (const NetId fin : g.fanin) {
+    if (value_[fin].is_x()) {
+      if (!netlist::has_controlling_value(g.type)) {
+        want = cc0_[fin] <= cc1_[fin] ? Tern::k0 : Tern::k1;
+      }
+      return std::make_pair(fin, want);
+    }
+  }
+  return std::nullopt;  // frontier gate has no X fanin to set
+}
+
+std::pair<NetId, Tern> Podem::backtrace(NetId net, Tern value) const {
+  // Walk from the objective toward a PI, choosing at each gate the
+  // easiest fanin per controllability, flipping the target value through
+  // inversions.
+  NetId cur = net;
+  Tern want = value;
+  while (nl_.gate(cur).type != GateType::kInput) {
+    const auto& g = nl_.gate(cur);
+    const bool inv = netlist::is_inverting(g.type);
+    Tern child_want = want;
+    if (g.type == GateType::kNot || g.type == GateType::kBuf) {
+      child_want = inv ? tern_not(want) : want;
+      cur = g.fanin[0];
+      want = child_want;
+      continue;
+    }
+    if (g.type == GateType::kXor || g.type == GateType::kXnor) {
+      // Pick the first X fanin; required value depends on the others,
+      // which may be X — aim for the cheaper side (heuristic only; the
+      // implication pass validates).
+      NetId pick = g.fanin[0];
+      for (const NetId fin : g.fanin) {
+        if (value_[fin].is_x()) {
+          pick = fin;
+          break;
+        }
+      }
+      want = cc0_[pick] <= cc1_[pick] ? Tern::k0 : Tern::k1;
+      cur = pick;
+      continue;
+    }
+    // AND/NAND/OR/NOR.
+    const Tern base_want = inv ? tern_not(want) : want;  // want at gate "core"
+    const bool need_all = (g.type == GateType::kAnd || g.type == GateType::kNand)
+                              ? base_want == Tern::k1
+                              : base_want == Tern::k0;
+    // need_all: every fanin must take the non-controlling value -> pick
+    // the *hardest* X fanin first (fail fast).  Otherwise one fanin at
+    // the controlling value suffices -> pick the easiest.
+    const Tern child =
+        (g.type == GateType::kAnd || g.type == GateType::kNand)
+            ? (need_all ? Tern::k1 : Tern::k0)
+            : (need_all ? Tern::k0 : Tern::k1);
+    NetId pick = netlist::kNullNet;
+    std::uint8_t best_cost = 0;
+    for (const NetId fin : g.fanin) {
+      if (!value_[fin].is_x()) continue;
+      const std::uint8_t cost = child == Tern::k0 ? cc0_[fin] : cc1_[fin];
+      if (pick == netlist::kNullNet ||
+          (need_all ? cost > best_cost : cost < best_cost)) {
+        pick = fin;
+        best_cost = cost;
+      }
+    }
+    if (pick == netlist::kNullNet) {
+      // No X fanin left; fall back to first fanin (implication will
+      // surface the conflict).
+      pick = g.fanin[0];
+    }
+    cur = pick;
+    want = child;
+  }
+  return {cur, want};
+}
+
+struct Podem::Frame {
+  NetId pi;
+  Tern value;
+  bool tried_both;
+};
+
+PodemResult Podem::generate(const fault::Fault& f) {
+  PodemResult result;
+  result.pattern = util::WideWord(nl_.num_inputs());
+  result.care = util::WideWord(nl_.num_inputs());
+
+  const netlist::Cone cone = netlist::fanout_cone(nl_, f.net);
+  cone_nets_.clear();
+  cone_nets_.reserve(cone.gates.size() + 1);
+  cone_nets_.push_back(f.net);
+  cone_nets_.insert(cone_nets_.end(), cone.gates.begin(), cone.gates.end());
+
+  value_.assign(nl_.num_nets(), kVX);
+  imply_all(f);
+
+  std::vector<Frame> stack;
+  auto assign_pi = [&](NetId pi, Tern v) {
+    value_[pi] = v == Tern::k1 ? kV1 : kV0;
+    imply_all(f);
+  };
+
+  while (true) {
+    if (fault_activated(f) && d_at_output()) {
+      result.status = PodemStatus::kTestFound;
+      for (const auto& fr : stack) {
+        const std::size_t idx = nl_.input_index(fr.pi);
+        result.pattern.set_bit(idx, fr.value == Tern::k1);
+        result.care.set_bit(idx, true);
+      }
+      return result;
+    }
+
+    const bool dead = !d_frontier_nonempty(f) && !d_at_output();
+    std::optional<std::pair<NetId, Tern>> obj;
+    if (!dead) obj = objective(f);
+
+    if (!dead && obj.has_value()) {
+      const auto [pi, v] = backtrace(obj->first, obj->second);
+      // A PI is free iff its good value is unassigned.  (Checking is_x()
+      // would wrongly treat a fault site PI as assigned: imply_all pins
+      // its faulty side to the stuck value.)
+      if (value_[pi].good == Tern::kX) {
+        stack.push_back(Frame{pi, v, false});
+        ++result.decisions;
+        assign_pi(pi, v);
+        continue;
+      }
+      // Backtrace landed on an assigned PI — treat as a conflict.
+    }
+
+    // Backtrack.
+    bool recovered = false;
+    while (!stack.empty()) {
+      Frame& top = stack.back();
+      if (!top.tried_both) {
+        top.tried_both = true;
+        top.value = tern_not(top.value);
+        ++result.backtracks;
+        if (result.backtracks > opts_.backtrack_limit) {
+          result.status = PodemStatus::kAborted;
+          return result;
+        }
+        // Re-imply from scratch with the flipped decision.
+        value_.assign(nl_.num_nets(), kVX);
+        for (const auto& fr : stack) {
+          value_[fr.pi] = fr.value == Tern::k1 ? kV1 : kV0;
+        }
+        imply_all(f);
+        recovered = true;
+        break;
+      }
+      stack.pop_back();
+      value_.assign(nl_.num_nets(), kVX);
+      for (const auto& fr : stack) {
+        value_[fr.pi] = fr.value == Tern::k1 ? kV1 : kV0;
+      }
+      imply_all(f);
+    }
+    if (!recovered && stack.empty()) {
+      result.status = PodemStatus::kUntestable;
+      return result;
+    }
+  }
+}
+
+}  // namespace fbist::atpg

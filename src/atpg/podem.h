@@ -1,0 +1,79 @@
+// PODEM (Path-Oriented DEcision Making) test generation for one fault.
+//
+// Classic algorithm: decisions are made only on primary inputs, derived
+// values are obtained by forward implication over the 5-valued algebra,
+// objectives are (activate fault) then (propagate a D through the
+// closest D-frontier gate), and objectives are mapped to PI assignments
+// by a controllability-guided backtrace.  A backtrack limit bounds the
+// search; exhausting the search space proves the fault untestable
+// (combinationally redundant).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "atpg/values.h"
+#include "fault/fault.h"
+#include "netlist/netlist.h"
+#include "util/wideword.h"
+
+namespace fbist::atpg {
+
+/// Outcome of one PODEM run.
+enum class PodemStatus {
+  kTestFound,    // `pattern` detects the fault (X bits filled later)
+  kUntestable,   // search space exhausted — fault is redundant
+  kAborted,      // backtrack limit hit — undecided
+};
+
+struct PodemResult {
+  PodemStatus status = PodemStatus::kAborted;
+  /// PI assignment; bit i = value of input i.  Only meaningful bits are
+  /// those in `care`; others may take any value.
+  util::WideWord pattern;
+  /// care.get_bit(i) == input i was assigned by the search.
+  util::WideWord care;
+  std::size_t backtracks = 0;
+  std::size_t decisions = 0;
+};
+
+struct PodemOptions {
+  /// Backtrack budget per fault.  Each backtrack costs a full re-imply
+  /// (O(circuit)), so this bounds worst-case per-fault time; faults that
+  /// exhaust it are reported kAborted and leave the target list.
+  std::size_t backtrack_limit = 600;
+};
+
+/// PODEM engine bound to one netlist (reused across faults).
+class Podem {
+ public:
+  explicit Podem(const netlist::Netlist& nl, PodemOptions opts = {});
+
+  /// Attempts to generate a test for `f`.
+  PodemResult generate(const fault::Fault& f);
+
+ private:
+  struct Frame;  // decision-stack frame
+
+  void imply_all(const fault::Fault& f);
+  bool fault_activated(const fault::Fault& f) const;
+  bool d_at_output() const;
+  bool d_frontier_nonempty(const fault::Fault& f) const;
+  /// Next objective (net, value); nullopt when none (failure).
+  std::optional<std::pair<netlist::NetId, Tern>> objective(const fault::Fault& f) const;
+  /// Maps an objective to a PI and value via controllability backtrace.
+  std::pair<netlist::NetId, Tern> backtrace(netlist::NetId net, Tern value) const;
+
+  const netlist::Netlist& nl_;
+  PodemOptions opts_;
+  std::vector<Val5> value_;              // per net
+  std::vector<std::size_t> level_;       // per net logic level
+  std::vector<std::uint8_t> cc0_, cc1_;  // SCOAP-ish controllability (saturated)
+  /// D/D' values only ever exist inside the fault's fanout cone, so the
+  /// frontier scans walk this list ({fault net} ∪ cone gates) instead of
+  /// the whole netlist.
+  std::vector<netlist::NetId> cone_nets_;
+};
+
+}  // namespace fbist::atpg

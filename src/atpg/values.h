@@ -1,0 +1,59 @@
+// Five-valued D-algebra for deterministic test generation.
+//
+// PODEM reasons over {0, 1, X, D, D'} where D means "1 in the good
+// circuit, 0 in the faulty circuit" and D' the opposite.  The encoding
+// uses a (good, faulty) pair of ternary bits packed as two 2-bit fields:
+// each field is 00=0, 01=1, 1x=X.  All gate evaluations decompose into
+// independent good/faulty ternary evaluations, which keeps the algebra
+// trivially correct.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace fbist::atpg {
+
+/// Ternary scalar: 0, 1 or unknown.
+enum class Tern : std::uint8_t { k0 = 0, k1 = 1, kX = 2 };
+
+Tern tern_not(Tern a);
+Tern tern_and(Tern a, Tern b);
+Tern tern_or(Tern a, Tern b);
+Tern tern_xor(Tern a, Tern b);
+
+/// Five-valued signal as a (good, faulty) pair of ternary values.
+struct Val5 {
+  Tern good = Tern::kX;
+  Tern faulty = Tern::kX;
+
+  bool operator==(const Val5& o) const {
+    return good == o.good && faulty == o.faulty;
+  }
+
+  bool is_x() const { return good == Tern::kX && faulty == Tern::kX; }
+  /// True for D (good=1/faulty=0) or D' (good=0/faulty=1).
+  bool is_d_or_dbar() const {
+    return good != Tern::kX && faulty != Tern::kX && good != faulty;
+  }
+  /// Both sides known and equal.
+  bool is_definite_equal() const {
+    return good != Tern::kX && good == faulty;
+  }
+};
+
+/// Canonical constants.
+inline constexpr Val5 kV0{Tern::k0, Tern::k0};
+inline constexpr Val5 kV1{Tern::k1, Tern::k1};
+inline constexpr Val5 kVX{Tern::kX, Tern::kX};
+inline constexpr Val5 kVD{Tern::k1, Tern::k0};
+inline constexpr Val5 kVDbar{Tern::k0, Tern::k1};
+
+/// Evaluates a gate over Val5 fanins (component-wise ternary evaluation).
+Val5 eval_gate5(netlist::GateType type, const Val5* fanin, std::size_t n);
+
+/// "0", "1", "X", "D", "D'" (or "g/f" for mixed partial values).
+std::string val5_name(const Val5& v);
+
+}  // namespace fbist::atpg

@@ -1,0 +1,162 @@
+#include "baseline/gatsby.h"
+
+#include <algorithm>
+
+namespace fbist::baseline {
+
+namespace {
+
+struct Individual {
+  std::vector<tpg::Triplet> genes;
+  std::size_t covered = 0;
+  std::size_t length = 0;
+  bool evaluated = false;
+};
+
+/// Lexicographic fitness: more coverage, then fewer triplets, then
+/// shorter test length.
+bool fitter(const Individual& a, const Individual& b) {
+  if (a.covered != b.covered) return a.covered > b.covered;
+  if (a.genes.size() != b.genes.size()) return a.genes.size() < b.genes.size();
+  return a.length < b.length;
+}
+
+}  // namespace
+
+GatsbyResult run_gatsby(const sim::FaultSim& fsim, const tpg::Tpg& tpg,
+                        const sim::PatternSet& seed_patterns,
+                        const GatsbyOptions& opts) {
+  util::Rng rng(opts.seed);
+  const std::size_t width = tpg.width();
+  const std::size_t nf = fsim.faults().size();
+  GatsbyResult result;
+  result.faults_total = nf;
+
+  auto random_triplet = [&]() {
+    tpg::Triplet t;
+    t.delta = util::WideWord::random(width, rng);
+    t.sigma = tpg.legalize_sigma(util::WideWord::random(width, rng));
+    t.cycles = opts.cycles_per_triplet;
+    return t;
+  };
+  auto seeded_triplet = [&](std::size_t p) {
+    tpg::Triplet t;
+    t.delta = seed_patterns.pattern(p);
+    t.sigma = tpg.legalize_sigma(util::WideWord::random(width, rng));
+    t.cycles = opts.cycles_per_triplet;
+    return t;
+  };
+
+  auto evaluate = [&](Individual& ind) {
+    if (ind.evaluated) return;
+    const sim::PatternSet ts = tpg::expand_all(tpg, ind.genes);
+    const sim::FaultSimResult r = fsim.run(ts);
+    ++result.fault_sim_calls;
+    ind.covered = r.num_detected();
+    ind.length = ts.size();
+    ind.evaluated = true;
+  };
+
+  // ---- Initial population ---------------------------------------------
+  std::vector<Individual> pop(opts.population);
+  for (std::size_t i = 0; i < pop.size(); ++i) {
+    const std::size_t k = std::max<std::size_t>(1, opts.initial_triplets);
+    for (std::size_t j = 0; j < k; ++j) {
+      const bool use_seed = !seed_patterns.empty() && (i % 2 == 0);
+      pop[i].genes.push_back(
+          use_seed ? seeded_triplet(rng.next_below(seed_patterns.size()))
+                   : random_triplet());
+    }
+  }
+  for (auto& ind : pop) evaluate(ind);
+  std::sort(pop.begin(), pop.end(), fitter);
+
+  std::size_t best_triplets_at_full = static_cast<std::size_t>(-1);
+  std::size_t stall = 0;
+
+  // ---- Evolution loop ----------------------------------------------------
+  for (std::size_t gen = 0; gen < opts.generations; ++gen) {
+    ++result.generations_run;
+    std::vector<Individual> next;
+    next.reserve(pop.size());
+    // Elitism: carry over the top quarter.
+    const std::size_t elite = std::max<std::size_t>(1, pop.size() / 4);
+    for (std::size_t i = 0; i < elite; ++i) next.push_back(pop[i]);
+
+    auto tournament = [&]() -> const Individual& {
+      const Individual& a = pop[rng.next_below(pop.size())];
+      const Individual& b = pop[rng.next_below(pop.size())];
+      return fitter(a, b) ? a : b;
+    };
+
+    while (next.size() < pop.size()) {
+      Individual child;
+      const Individual& p1 = tournament();
+      const Individual& p2 = tournament();
+      if (rng.next_double() < opts.crossover_rate && !p1.genes.empty() &&
+          !p2.genes.empty()) {
+        const std::size_t cut1 = rng.next_below(p1.genes.size() + 1);
+        const std::size_t cut2 = rng.next_below(p2.genes.size() + 1);
+        child.genes.assign(p1.genes.begin(),
+                           p1.genes.begin() + static_cast<std::ptrdiff_t>(cut1));
+        child.genes.insert(child.genes.end(),
+                           p2.genes.begin() + static_cast<std::ptrdiff_t>(cut2),
+                           p2.genes.end());
+      } else {
+        child.genes = p1.genes;
+      }
+      if (child.genes.empty()) child.genes.push_back(random_triplet());
+      if (child.genes.size() > opts.max_triplets) {
+        child.genes.resize(opts.max_triplets);
+      }
+
+      // Mutations.
+      if (rng.next_double() < opts.mutation_rate) {
+        const std::size_t which = rng.next_below(child.genes.size());
+        tpg::Triplet& t = child.genes[which];
+        // Flip a handful of delta/sigma bits.
+        for (int k = 0; k < 4; ++k) {
+          const std::size_t bit = static_cast<std::size_t>(rng.next_below(width));
+          if (rng.next_bool()) {
+            t.delta.set_bit(bit, !t.delta.get_bit(bit));
+          } else {
+            t.sigma.set_bit(bit, !t.sigma.get_bit(bit));
+            t.sigma = tpg.legalize_sigma(t.sigma);
+          }
+        }
+      }
+      if (rng.next_double() < opts.mutation_rate * 0.5) {
+        if (rng.next_bool() && child.genes.size() > 1) {
+          child.genes.erase(child.genes.begin() +
+                            static_cast<std::ptrdiff_t>(
+                                rng.next_below(child.genes.size())));
+        } else if (child.genes.size() < opts.max_triplets) {
+          child.genes.push_back(random_triplet());
+        }
+      }
+      next.push_back(std::move(child));
+    }
+
+    for (auto& ind : next) evaluate(ind);
+    std::sort(next.begin(), next.end(), fitter);
+    pop = std::move(next);
+
+    // Early stop management.
+    if (pop[0].covered == nf) {
+      if (pop[0].genes.size() < best_triplets_at_full) {
+        best_triplets_at_full = pop[0].genes.size();
+        stall = 0;
+      } else if (++stall >= opts.stall_generations) {
+        break;
+      }
+    }
+  }
+
+  const Individual& best = pop[0];
+  result.triplets = best.genes;
+  result.faults_covered = best.covered;
+  result.test_length = best.length;
+  return result;
+}
+
+}  // namespace fbist::baseline

@@ -1,0 +1,62 @@
+// GATSBY-like genetic-algorithm baseline for reseeding computation.
+//
+// Re-implements the *mechanism* of the comparison baseline [7][8]: a GA
+// whose chromosome is a sequence of triplets and whose fitness is
+// evaluated by fault simulation.  This reproduces the two properties the
+// paper leans on:
+//   * the GA finds working reseeding solutions but with more triplets
+//     than the set-covering method,
+//   * fitness evaluation is simulation-bound, so runtime explodes with
+//     circuit size (the paper could not run GATSBY on s13207/s15850).
+//
+// Chromosome: K triplets (delta, sigma, T_fixed).  Fitness: lexicographic
+// (faults covered DESC, #triplets ASC, test length ASC).  Operators:
+// one-point crossover on the triplet sequence, mutation of delta/sigma
+// bits, triplet insertion/deletion.  Seeding: half random, half cloned
+// from ATPG patterns (GATSBY also starts from deterministic knowledge).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/fault_sim.h"
+#include "tpg/tpg.h"
+#include "tpg/triplet.h"
+#include "util/rng.h"
+
+namespace fbist::baseline {
+
+struct GatsbyOptions {
+  std::size_t population = 24;
+  std::size_t generations = 40;
+  std::size_t initial_triplets = 8;    // chromosome length at init
+  std::size_t max_triplets = 64;
+  std::size_t cycles_per_triplet = 64; // fixed T per triplet
+  double crossover_rate = 0.8;
+  double mutation_rate = 0.25;
+  std::uint64_t seed = 99;
+  /// Stop early once full coverage is reached and the triplet count has
+  /// not improved for `stall_generations`.
+  std::size_t stall_generations = 8;
+};
+
+struct GatsbyResult {
+  std::vector<tpg::Triplet> triplets;
+  std::size_t faults_covered = 0;
+  std::size_t faults_total = 0;
+  std::size_t test_length = 0;       // sum of triplet lengths (untrimmed)
+  std::size_t generations_run = 0;
+  std::size_t fault_sim_calls = 0;   // the cost driver the paper cites
+
+  std::size_t num_triplets() const { return triplets.size(); }
+  bool full_coverage() const { return faults_covered == faults_total; }
+};
+
+/// Runs the GA against the fault list bound to `fsim`.
+/// `seed_patterns` (may be empty) provides deterministic seeds for part
+/// of the initial population.
+GatsbyResult run_gatsby(const sim::FaultSim& fsim, const tpg::Tpg& tpg,
+                        const sim::PatternSet& seed_patterns,
+                        const GatsbyOptions& opts = {});
+
+}  // namespace fbist::baseline

@@ -1,0 +1,65 @@
+// Weighted-random pattern generation baseline.
+//
+// The classic low-cost BIST alternative to deterministic reseeding:
+// instead of uniform random patterns, each primary input i is driven by
+// an independent biased coin with probability w_i of being 1.  Weights
+// are derived from the deterministic ATPG test set (the fraction of
+// specified 1s per input — a standard single-distribution heuristic).
+//
+// Included as a second comparison point beside GATSBY: it bounds what
+// *pattern-count-unbounded* randomness achieves on the evaluation
+// circuits, making the paper's premise measurable — these circuits are
+// selected precisely because uniform random testing stalls below full
+// coverage within 10k patterns.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/fault_sim.h"
+#include "sim/pattern.h"
+#include "util/rng.h"
+
+namespace fbist::baseline {
+
+struct WeightedRandomOptions {
+  std::size_t max_patterns = 10'000;  // the paper's random-testability cutoff
+  std::size_t block = 64;             // fault-sim granularity
+  /// Clamp weights away from 0/1 so every input still toggles.
+  double weight_floor = 0.05;
+  std::uint64_t seed = 3;
+};
+
+struct WeightedRandomResult {
+  std::size_t patterns_applied = 0;
+  std::size_t faults_detected = 0;
+  std::size_t faults_total = 0;
+  /// Pattern count after which no further fault was detected.
+  std::size_t last_useful_pattern = 0;
+  /// Per-input weights used.
+  std::vector<double> weights;
+
+  double coverage_percent() const {
+    return faults_total == 0 ? 100.0
+                             : 100.0 * static_cast<double>(faults_detected) /
+                                   static_cast<double>(faults_total);
+  }
+};
+
+/// Derives per-input 1-probabilities from a deterministic test set
+/// (uniform 0.5 when `guide` is empty).
+std::vector<double> derive_weights(const sim::PatternSet& guide,
+                                   std::size_t num_inputs,
+                                   double weight_floor = 0.05);
+
+/// Draws one pattern set of `count` patterns under `weights`.
+sim::PatternSet weighted_patterns(const std::vector<double>& weights,
+                                  std::size_t count, util::Rng& rng);
+
+/// Runs the weighted-random campaign against the faults bound to `fsim`
+/// with fault dropping, stopping at max_patterns or full coverage.
+WeightedRandomResult run_weighted_random(const sim::FaultSim& fsim,
+                                         const sim::PatternSet& guide,
+                                         const WeightedRandomOptions& opts = {});
+
+}  // namespace fbist::baseline

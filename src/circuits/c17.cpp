@@ -1,0 +1,27 @@
+#include "circuits/registry.h"
+
+namespace fbist::circuits {
+
+// The 6-gate ISCAS'85 c17 benchmark — small enough to state directly and
+// invaluable as a ground-truth fixture for simulator/ATPG tests.
+netlist::Netlist make_c17() {
+  using netlist::GateType;
+  netlist::Netlist nl;
+  const auto g1 = nl.add_input("G1");
+  const auto g2 = nl.add_input("G2");
+  const auto g3 = nl.add_input("G3");
+  const auto g6 = nl.add_input("G6");
+  const auto g7 = nl.add_input("G7");
+  const auto g10 = nl.add_gate(GateType::kNand, "G10", {g1, g3});
+  const auto g11 = nl.add_gate(GateType::kNand, "G11", {g3, g6});
+  const auto g16 = nl.add_gate(GateType::kNand, "G16", {g2, g11});
+  const auto g19 = nl.add_gate(GateType::kNand, "G19", {g11, g7});
+  const auto g22 = nl.add_gate(GateType::kNand, "G22", {g10, g16});
+  const auto g23 = nl.add_gate(GateType::kNand, "G23", {g16, g19});
+  nl.mark_output(g22);
+  nl.mark_output(g23);
+  nl.validate();
+  return nl;
+}
+
+}  // namespace fbist::circuits

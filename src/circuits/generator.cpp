@@ -1,0 +1,184 @@
+#include "circuits/generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace fbist::circuits {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NetId;
+
+namespace {
+
+GateType pick_gate_type(util::Rng& rng, const GeneratorSpec& spec, std::size_t fanin) {
+  if (fanin == 1) {
+    return rng.next_bool(0.5) ? GateType::kNot : GateType::kBuf;
+  }
+  if (fanin == 2 && rng.next_double() < spec.xor_share) {
+    return rng.next_bool(0.5) ? GateType::kXor : GateType::kXnor;
+  }
+  switch (rng.next_below(4)) {
+    case 0: return GateType::kAnd;
+    case 1: return GateType::kNand;
+    case 2: return GateType::kOr;
+    default: return GateType::kNor;
+  }
+}
+
+}  // namespace
+
+Netlist generate(const GeneratorSpec& spec, const std::string& name_prefix) {
+  if (spec.num_inputs == 0 || spec.num_outputs == 0 || spec.num_gates == 0) {
+    throw std::invalid_argument("generate: empty spec");
+  }
+  if (spec.layers == 0) throw std::invalid_argument("generate: zero layers");
+
+  util::Rng rng(spec.seed);
+  Netlist nl;
+
+  std::vector<NetId> pis;
+  pis.reserve(spec.num_inputs);
+  for (std::size_t i = 0; i < spec.num_inputs; ++i) {
+    pis.push_back(nl.add_input(name_prefix + "_pi" + std::to_string(i)));
+  }
+
+  // Distribute gates over layers; each layer draws fanin mostly from the
+  // previous one or two layers (locality bias) with an occasional long
+  // edge back to any earlier net.
+  const std::size_t layers = std::min(spec.layers, spec.num_gates);
+  std::vector<std::vector<NetId>> layer_nets(layers + 1);
+  layer_nets[0] = pis;
+
+  std::size_t made = 0;
+  for (std::size_t layer = 1; layer <= layers; ++layer) {
+    const std::size_t remaining_layers = layers - layer + 1;
+    const std::size_t remaining_gates = spec.num_gates - made;
+    std::size_t in_this_layer = remaining_gates / remaining_layers;
+    if (layer == layers) in_this_layer = remaining_gates;
+    if (in_this_layer == 0 && remaining_gates > 0) in_this_layer = 1;
+
+    // Pool of candidate fanin nets: previous two layers plus rare long edges.
+    std::vector<NetId> local_pool = layer_nets[layer - 1];
+    if (layer >= 2) {
+      local_pool.insert(local_pool.end(), layer_nets[layer - 2].begin(),
+                        layer_nets[layer - 2].end());
+    }
+
+    for (std::size_t g = 0; g < in_this_layer; ++g) {
+      std::size_t fanin = 2;
+      const double r = rng.next_double();
+      if (r < spec.wide_gate_share) {
+        fanin = 4 + rng.next_below(2);  // 4 or 5
+      } else if (r < spec.wide_gate_share + 0.10) {
+        fanin = 1;
+      } else if (r < spec.wide_gate_share + 0.35) {
+        fanin = 3;
+      }
+      fanin = std::min<std::size_t>(fanin, local_pool.size() + made + spec.num_inputs);
+
+      std::vector<NetId> ins;
+      ins.reserve(fanin);
+      while (ins.size() < fanin) {
+        NetId cand;
+        if (!local_pool.empty() && rng.next_double() < 0.85) {
+          cand = local_pool[rng.next_below(local_pool.size())];
+        } else {
+          // Long edge: any existing net.
+          cand = static_cast<NetId>(rng.next_below(nl.num_nets()));
+        }
+        if (std::find(ins.begin(), ins.end(), cand) == ins.end()) {
+          ins.push_back(cand);
+        } else if (nl.num_nets() <= fanin) {
+          break;  // tiny circuit, cannot find enough distinct nets
+        }
+      }
+      if (ins.empty()) ins.push_back(pis[rng.next_below(pis.size())]);
+
+      const GateType type = pick_gate_type(rng, spec, ins.size());
+      const NetId id = nl.add_gate(
+          type, name_prefix + "_g" + std::to_string(made), std::move(ins));
+      layer_nets[layer].push_back(id);
+      ++made;
+    }
+  }
+  assert(made == spec.num_gates);
+
+  // Choose primary outputs from the deepest layers, then sweep every
+  // dangling net (no fanout, not an output) into an output cone by
+  // OR-ing it with an existing output choice.  To keep the gate count
+  // exactly spec.num_gates we instead mark dangling nets as additional
+  // outputs only if we run short; preferred fix: collect dangling nets
+  // and fold them into "collector" outputs.
+  std::vector<NetId> po_candidates;
+  for (std::size_t layer = layers + 1; layer-- > 0;) {
+    for (const NetId n : layer_nets[layer]) po_candidates.push_back(n);
+    if (po_candidates.size() >= spec.num_outputs * 3) break;
+  }
+
+  // Find dangling nets (gates nobody reads).
+  std::vector<std::size_t> fanout_count(nl.num_nets(), 0);
+  for (NetId id = 0; id < nl.num_nets(); ++id) {
+    for (const NetId f : nl.gate(id).fanin) fanout_count[f]++;
+  }
+  std::vector<NetId> dangling;
+  for (NetId id = static_cast<NetId>(spec.num_inputs); id < nl.num_nets(); ++id) {
+    if (fanout_count[id] == 0) dangling.push_back(id);
+  }
+  // Unread primary inputs are folded into outputs below (never made
+  // outputs directly — a PI-as-PO tests nothing).
+  std::vector<NetId> unread_pis;
+  for (NetId id = 0; id < static_cast<NetId>(spec.num_inputs); ++id) {
+    if (fanout_count[id] == 0) unread_pis.push_back(id);
+  }
+
+  // Outputs: prefer dangling nets (so they become observable), then fill
+  // from deep candidates.
+  std::vector<NetId> outputs;
+  for (const NetId d : dangling) {
+    if (outputs.size() >= spec.num_outputs) break;
+    outputs.push_back(d);
+  }
+  std::size_t ci = 0;
+  while (outputs.size() < spec.num_outputs && ci < po_candidates.size()) {
+    const NetId cand = po_candidates[ci++];
+    if (std::find(outputs.begin(), outputs.end(), cand) == outputs.end()) {
+      outputs.push_back(cand);
+    }
+  }
+  while (outputs.size() < spec.num_outputs) {
+    // Degenerate small spec: reuse inputs as outputs via buffers.
+    const NetId src = pis[outputs.size() % pis.size()];
+    const NetId buf = nl.add_gate(GateType::kBuf,
+                                  name_prefix + "_pob" + std::to_string(outputs.size()),
+                                  {src});
+    outputs.push_back(buf);
+  }
+
+  // Any dangling net that did not become an output gets XOR-folded into
+  // one of the outputs through a chain gate, keeping it observable.
+  // This adds a handful of gates beyond spec.num_gates, which is
+  // acceptable (profiles quote approximate gate counts).
+  std::size_t fold_idx = 0;
+  std::vector<NetId> to_fold = dangling;
+  to_fold.insert(to_fold.end(), unread_pis.begin(), unread_pis.end());
+  for (const NetId d : to_fold) {
+    if (std::find(outputs.begin(), outputs.end(), d) != outputs.end()) continue;
+    const std::size_t slot = fold_idx % outputs.size();
+    const NetId folded = nl.add_gate(
+        GateType::kXor, name_prefix + "_fold" + std::to_string(fold_idx),
+        {outputs[slot], d});
+    outputs[slot] = folded;
+    ++fold_idx;
+  }
+
+  for (const NetId o : outputs) nl.mark_output(o);
+  nl.validate();
+  return nl;
+}
+
+}  // namespace fbist::circuits

@@ -1,0 +1,43 @@
+// Deterministic synthetic combinational circuit generator.
+//
+// The paper evaluates on ISCAS'85 and full-scan ISCAS'89 benchmark
+// circuits.  Those netlists are not redistributable here, so the
+// registry (circuits/registry.h) instantiates *profile-matched
+// look-alikes* from this generator: same primary-input/output counts and
+// comparable gate counts, deterministic from the circuit name.
+//
+// Construction strategy (aimed at "not random-pattern-easy" circuits,
+// since the paper selects benchmarks that are not random testable by
+// 10k patterns):
+//   * layered DAG with locality-biased fanin selection (deep circuits),
+//   * a configurable share of XOR/XNOR gates (resist random detection),
+//   * a few wide AND/OR "coincidence" gates that create low-probability
+//     activation conditions,
+//   * every gate is swept into some primary-output cone so no fault is
+//     trivially undetectable by disconnection.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace fbist::circuits {
+
+/// Parameters of one synthetic circuit.
+struct GeneratorSpec {
+  std::size_t num_inputs = 8;
+  std::size_t num_outputs = 4;
+  std::size_t num_gates = 64;   // logic gates, excluding PIs
+  std::size_t layers = 8;       // target logic depth (approximate)
+  double xor_share = 0.20;      // fraction of XOR/XNOR gates
+  double wide_gate_share = 0.05;  // fraction of fanin-4..5 AND/OR gates
+  std::uint64_t seed = 1;       // full determinism
+};
+
+/// Generates a valid combinational netlist for `spec`.
+/// Postconditions: netlist.validate() passes; every net reaches a PO.
+netlist::Netlist generate(const GeneratorSpec& spec, const std::string& name_prefix = "n");
+
+}  // namespace fbist::circuits

@@ -1,0 +1,46 @@
+#include "cover/detection_matrix.h"
+
+#include <stdexcept>
+
+namespace fbist::cover {
+
+DetectionMatrix::DetectionMatrix(std::size_t rows, std::size_t cols)
+    : cols_(cols), rows_(rows, util::BitVector(cols)) {}
+
+void DetectionMatrix::set_row(std::size_t r, util::BitVector bits) {
+  if (bits.size() != cols_) {
+    throw std::invalid_argument("DetectionMatrix::set_row: width mismatch");
+  }
+  rows_[r] = std::move(bits);
+}
+
+util::BitVector DetectionMatrix::coverable() const {
+  util::BitVector u(cols_);
+  for (const auto& r : rows_) u |= r;
+  return u;
+}
+
+bool DetectionMatrix::all_columns_coverable() const {
+  return coverable().count() == cols_;
+}
+
+std::size_t DetectionMatrix::density() const {
+  std::size_t n = 0;
+  for (const auto& r : rows_) n += r.count();
+  return n;
+}
+
+void DetectionMatrix::attach_earliest(
+    std::vector<std::vector<std::uint32_t>> earliest) {
+  if (earliest.size() != rows_.size()) {
+    throw std::invalid_argument("attach_earliest: row count mismatch");
+  }
+  for (const auto& e : earliest) {
+    if (e.size() != cols_) {
+      throw std::invalid_argument("attach_earliest: column count mismatch");
+    }
+  }
+  earliest_ = std::move(earliest);
+}
+
+}  // namespace fbist::cover

@@ -1,0 +1,58 @@
+// Detection Matrix — the set-covering instance of the reseeding problem.
+//
+// Rows correspond to candidate triplets, columns to target faults.
+// d[i][j] = 1 iff the test set of triplet i detects fault j.  Alongside
+// the bits, the matrix can carry the earliest detecting pattern index of
+// each (triplet, fault) pair, which the optimizer uses for the paper's
+// per-triplet test-length trimming.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/bitvector.h"
+
+namespace fbist::cover {
+
+class DetectionMatrix {
+ public:
+  DetectionMatrix() = default;
+  DetectionMatrix(std::size_t rows, std::size_t cols);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return cols_; }
+
+  bool get(std::size_t row, std::size_t col) const { return rows_[row].get(col); }
+  void set(std::size_t row, std::size_t col, bool v = true) { rows_[row].set(col, v); }
+
+  /// Faults detected by row (as a bit vector over columns).
+  const util::BitVector& row(std::size_t r) const { return rows_[r]; }
+  util::BitVector& row(std::size_t r) { return rows_[r]; }
+
+  /// Replaces a whole row.
+  void set_row(std::size_t r, util::BitVector bits);
+
+  /// Union of all rows — the coverable column set.
+  util::BitVector coverable() const;
+  /// True iff every column is covered by some row.
+  bool all_columns_coverable() const;
+
+  /// Number of set bits in the whole matrix.
+  std::size_t density() const;
+
+  /// Optional earliest-detection payload: earliest[r][c] = pattern index
+  /// of first detection, or UINT32_MAX.  Empty when not tracked.
+  void attach_earliest(std::vector<std::vector<std::uint32_t>> earliest);
+  bool has_earliest() const { return !earliest_.empty(); }
+  std::uint32_t earliest(std::size_t r, std::size_t c) const {
+    return earliest_[r][c];
+  }
+
+ private:
+  std::size_t cols_ = 0;
+  std::vector<util::BitVector> rows_;
+  std::vector<std::vector<std::uint32_t>> earliest_;
+};
+
+}  // namespace fbist::cover

@@ -1,0 +1,141 @@
+#include "cover/exact.h"
+
+#include <algorithm>
+
+#include "cover/greedy.h"
+
+namespace fbist::cover {
+
+namespace {
+
+/// Mutable search state shared down the recursion.
+struct Search {
+  const DetectionMatrix* m;
+  std::size_t node_budget;
+  std::size_t nodes = 0;
+  bool budget_exhausted = false;
+
+  std::vector<std::size_t> best;    // incumbent rows
+  std::vector<std::size_t> chosen;  // current partial selection
+
+  /// rows_covering[c]: rows with a 1 in column c (static).
+  std::vector<std::vector<std::size_t>> rows_covering;
+};
+
+/// Lower bound: pack pairwise row-disjoint uncovered columns; each needs
+/// its own row.  Greedy packing by ascending cover-degree.
+std::size_t disjoint_column_bound(const Search& s, const util::BitVector& uncovered) {
+  const std::size_t C = s.m->num_cols();
+  // Columns sorted by degree would be ideal; to stay cheap, scan in
+  // ascending index but prefer low-degree columns via two passes.
+  util::BitVector used_rows(s.m->num_rows());
+  std::size_t bound = 0;
+  for (std::size_t pass_degree = 1; pass_degree <= 3; ++pass_degree) {
+    for (std::size_t c = uncovered.find_first(); c < C;
+         c = uncovered.find_next(c + 1)) {
+      const auto& rows = s.rows_covering[c];
+      if (rows.size() != pass_degree && pass_degree < 3) continue;
+      if (pass_degree == 3 && rows.size() < 3) continue;
+      bool disjoint = true;
+      for (const std::size_t r : rows) {
+        if (used_rows.get(r)) {
+          disjoint = false;
+          break;
+        }
+      }
+      if (!disjoint) continue;
+      for (const std::size_t r : rows) used_rows.set(r);
+      ++bound;
+    }
+  }
+  return bound;
+}
+
+void branch(Search& s, const util::BitVector& uncovered) {
+  if (s.budget_exhausted) return;
+  if (++s.nodes > s.node_budget) {
+    s.budget_exhausted = true;
+    return;
+  }
+
+  if (uncovered.none()) {
+    if (s.chosen.size() < s.best.size()) s.best = s.chosen;
+    return;
+  }
+  // Bounding.
+  if (s.chosen.size() + 1 >= s.best.size()) return;  // even one more row can't win
+  const std::size_t lb = disjoint_column_bound(s, uncovered);
+  if (s.chosen.size() + std::max<std::size_t>(lb, 1) >= s.best.size()) return;
+
+  // Branch on the uncovered column with the fewest covering rows.
+  const std::size_t C = s.m->num_cols();
+  std::size_t pick = C;
+  std::size_t pick_degree = static_cast<std::size_t>(-1);
+  for (std::size_t c = uncovered.find_first(); c < C;
+       c = uncovered.find_next(c + 1)) {
+    const std::size_t deg = s.rows_covering[c].size();
+    if (deg < pick_degree) {
+      pick_degree = deg;
+      pick = c;
+      if (deg <= 1) break;
+    }
+  }
+  if (pick == C) return;  // defensive: nothing uncovered after all
+
+  // Try covering rows in decreasing marginal-gain order.
+  std::vector<std::pair<std::size_t, std::size_t>> order;  // (gain, row)
+  order.reserve(s.rows_covering[pick].size());
+  for (const std::size_t r : s.rows_covering[pick]) {
+    order.emplace_back(s.m->row(r).count_and(uncovered), r);
+  }
+  std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+
+  for (const auto& [gain, r] : order) {
+    (void)gain;
+    s.chosen.push_back(r);
+    util::BitVector next_uncovered = uncovered;
+    next_uncovered.and_not(s.m->row(r));
+    branch(s, next_uncovered);
+    s.chosen.pop_back();
+    if (s.budget_exhausted) return;
+  }
+}
+
+}  // namespace
+
+CoverSolution solve_exact(const DetectionMatrix& m, const ExactOptions& opts) {
+  CoverSolution sol;
+  if (m.num_cols() == 0) {
+    sol.feasible = true;
+    sol.proven_optimal = true;
+    return sol;
+  }
+
+  // Incumbent from greedy.
+  CoverSolution greedy = solve_greedy(m);
+
+  Search s;
+  s.m = &m;
+  s.node_budget = opts.node_budget;
+  s.best = greedy.rows;
+
+  s.rows_covering.assign(m.num_cols(), {});
+  for (std::size_t r = 0; r < m.num_rows(); ++r) {
+    m.row(r).for_each_set([&](std::size_t c) { s.rows_covering[c].push_back(r); });
+  }
+
+  util::BitVector uncovered(m.num_cols(), true);
+  branch(s, uncovered);
+
+  sol.rows = s.best;
+  std::sort(sol.rows.begin(), sol.rows.end());
+  sol.nodes = s.nodes;
+  sol.proven_optimal = !s.budget_exhausted;
+  sol.feasible = covers_all(m, sol.rows);
+  return sol;
+}
+
+}  // namespace fbist::cover

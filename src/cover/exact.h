@@ -1,0 +1,31 @@
+// Exact set-cover solver — the LINGO substitute.
+//
+// Branch-and-bound over the 0/1 covering ILP
+//     minimize  sum x_i   s.t.  D x >= 1,  x in {0,1}^M
+//
+// Search shape:
+//   * initial incumbent from the greedy heuristic;
+//   * at each node, branch on a hardest (fewest-covering-rows)
+//     uncovered column, trying its covering rows in decreasing-gain
+//     order (covering a column by *some* row is mandatory, so this
+//     branching is complete);
+//   * lower bound: greedy packing of pairwise-disjoint uncovered
+//     columns — any cover needs at least one distinct row per packed
+//     column (an LP-dual-feasible bound);
+//   * node budget: beyond it the solver returns the incumbent with
+//     proven_optimal = false (never hit on the paper-scale reduced
+//     matrices; exercised in tests).
+#pragma once
+
+#include "cover/solver.h"
+
+namespace fbist::cover {
+
+struct ExactOptions {
+  std::size_t node_budget = 2'000'000;
+};
+
+/// Minimum-cardinality cover of all columns of `m`.
+CoverSolution solve_exact(const DetectionMatrix& m, const ExactOptions& opts = {});
+
+}  // namespace fbist::cover

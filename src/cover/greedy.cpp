@@ -1,0 +1,36 @@
+#include "cover/greedy.h"
+
+#include <stdexcept>
+
+namespace fbist::cover {
+
+CoverSolution solve_greedy(const DetectionMatrix& m) {
+  CoverSolution sol;
+  const std::size_t R = m.num_rows();
+  const std::size_t C = m.num_cols();
+
+  util::BitVector uncovered(C, true);
+  while (uncovered.any()) {
+    std::size_t best_row = R;
+    std::size_t best_gain = 0;
+    for (std::size_t r = 0; r < R; ++r) {
+      const std::size_t gain = m.row(r).count_and(uncovered);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_row = r;
+      }
+    }
+    if (best_row == R) {
+      throw std::invalid_argument("solve_greedy: uncoverable column remains");
+    }
+    sol.rows.push_back(best_row);
+    uncovered.and_not(m.row(best_row));
+  }
+  // The greedy order can leave redundant early picks; prune them.
+  sol.rows = make_irredundant(m, std::move(sol.rows));
+  sol.feasible = covers_all(m, sol.rows);
+  sol.proven_optimal = sol.rows.size() <= 1;  // 0/1-row covers are trivially optimal
+  return sol;
+}
+
+}  // namespace fbist::cover

@@ -1,0 +1,15 @@
+// Greedy set-cover heuristic (Chvátal): repeatedly pick the row covering
+// the most yet-uncovered columns.  ln(n)-approximate; used both as a
+// stand-alone heuristic baseline and as the upper bound inside the exact
+// branch-and-bound solver.
+#pragma once
+
+#include "cover/solver.h"
+
+namespace fbist::cover {
+
+/// Greedy cover of all columns of `m`.  Precondition: every column is
+/// coverable.  Ties break toward the lower row index (deterministic).
+CoverSolution solve_greedy(const DetectionMatrix& m);
+
+}  // namespace fbist::cover

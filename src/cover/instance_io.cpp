@@ -1,0 +1,83 @@
+#include "cover/instance_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fbist::cover {
+
+void write_instance(const DetectionMatrix& m, std::ostream& out) {
+  out << "scp " << m.num_rows() << " " << m.num_cols() << "\n";
+  for (std::size_t r = 0; r < m.num_rows(); ++r) {
+    out << "row";
+    m.row(r).for_each_set([&](std::size_t c) { out << ' ' << c; });
+    out << "\n";
+  }
+}
+
+std::string instance_to_string(const DetectionMatrix& m) {
+  std::ostringstream ss;
+  write_instance(m, ss);
+  return ss.str();
+}
+
+DetectionMatrix read_instance(std::istream& in) {
+  std::string line;
+  std::size_t line_no = 0;
+  auto fail = [&](const std::string& msg) -> void {
+    throw std::runtime_error("scp line " + std::to_string(line_no) + ": " + msg);
+  };
+
+  DetectionMatrix m;
+  std::size_t rows = 0, cols = 0, next_row = 0;
+  bool header_seen = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::string key;
+    ss >> key;
+    if (!header_seen) {
+      if (key != "scp") fail("expected 'scp <rows> <cols>' header");
+      ss >> rows >> cols;
+      if (ss.fail()) fail("bad header dimensions");
+      m = DetectionMatrix(rows, cols);
+      header_seen = true;
+      continue;
+    }
+    if (key != "row") fail("expected 'row' record");
+    if (next_row >= rows) fail("more rows than declared");
+    std::size_t c;
+    while (ss >> c) {
+      if (c >= cols) fail("column index out of range");
+      m.set(next_row, c);
+    }
+    if (!ss.eof()) fail("bad column index");
+    ++next_row;
+  }
+  if (!header_seen) throw std::runtime_error("scp: empty input");
+  if (next_row != rows) {
+    throw std::runtime_error("scp: declared " + std::to_string(rows) +
+                             " rows, found " + std::to_string(next_row));
+  }
+  return m;
+}
+
+DetectionMatrix instance_from_string(const std::string& text) {
+  std::istringstream ss(text);
+  return read_instance(ss);
+}
+
+void write_instance_file(const DetectionMatrix& m, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot write " + path);
+  write_instance(m, f);
+}
+
+DetectionMatrix read_instance_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  return read_instance(f);
+}
+
+}  // namespace fbist::cover

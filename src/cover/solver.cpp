@@ -1,0 +1,46 @@
+#include "cover/solver.h"
+
+#include <algorithm>
+
+namespace fbist::cover {
+
+bool covers_all(const DetectionMatrix& m, const std::vector<std::size_t>& rows) {
+  util::BitVector covered(m.num_cols());
+  for (const std::size_t r : rows) covered |= m.row(r);
+  return covered.count() == m.num_cols();
+}
+
+bool is_irredundant(const DetectionMatrix& m, const std::vector<std::size_t>& rows) {
+  for (std::size_t skip = 0; skip < rows.size(); ++skip) {
+    util::BitVector covered(m.num_cols());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (i != skip) covered |= m.row(rows[i]);
+    }
+    if (covered.count() == m.num_cols()) return false;
+  }
+  return true;
+}
+
+std::vector<std::size_t> make_irredundant(const DetectionMatrix& m,
+                                          std::vector<std::size_t> rows) {
+  bool removed = true;
+  while (removed) {
+    removed = false;
+    // Try dropping rows from the back (later rows first keeps the
+    // earliest/cheapest triplets, matching how solutions are reported).
+    for (std::size_t i = rows.size(); i-- > 0;) {
+      util::BitVector covered(m.num_cols());
+      for (std::size_t j = 0; j < rows.size(); ++j) {
+        if (j != i) covered |= m.row(rows[j]);
+      }
+      if (covered.count() == m.num_cols()) {
+        rows.erase(rows.begin() + static_cast<std::ptrdiff_t>(i));
+        removed = true;
+        break;
+      }
+    }
+  }
+  return rows;
+}
+
+}  // namespace fbist::cover

@@ -1,0 +1,36 @@
+// Common interface for set-cover solvers over a DetectionMatrix.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cover/detection_matrix.h"
+
+namespace fbist::cover {
+
+/// Result of solving one covering instance.
+struct CoverSolution {
+  /// Selected rows (indices into the matrix passed to the solver).
+  std::vector<std::size_t> rows;
+  /// True when the solver proved minimality (exact solvers only).
+  bool proven_optimal = false;
+  /// Search statistics (exact solver: branch-and-bound nodes).
+  std::size_t nodes = 0;
+  /// True iff the selection covers every column (sanity, always checked).
+  bool feasible = false;
+};
+
+/// Verifies that `rows` covers every column of `m`.
+bool covers_all(const DetectionMatrix& m, const std::vector<std::size_t>& rows);
+
+/// Checks irredundancy: no selected row can be dropped without losing
+/// coverage (the paper's definition of a *minimal* solution).
+bool is_irredundant(const DetectionMatrix& m, const std::vector<std::size_t>& rows);
+
+/// Removes redundant rows greedily (largest index first) until the
+/// selection is irredundant; returns the pruned selection.
+std::vector<std::size_t> make_irredundant(const DetectionMatrix& m,
+                                          std::vector<std::size_t> rows);
+
+}  // namespace fbist::cover

@@ -1,0 +1,84 @@
+#include "fault/collapse.h"
+
+#include <array>
+
+#include "netlist/levelize.h"
+
+namespace fbist::fault {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NetId;
+
+std::vector<Fault> collapse_faults(const Netlist& nl) {
+  const auto reach = netlist::reaches_output(nl);
+  const auto& fanouts = nl.fanouts();
+
+  // keep[net][polarity]: the fault survives collapsing.
+  std::vector<std::array<bool, 2>> keep(nl.num_nets(), {true, true});
+
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    if (!reach[n]) {
+      keep[n] = {false, false};
+      continue;
+    }
+  }
+
+  // A net fault is collapsible into its (single) reader when the net is
+  // fanout-free, not a primary output, and the reader's function makes
+  // the faults equivalent.
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    if (!reach[n]) continue;
+    if (fanouts[n].size() != 1) continue;
+    if (nl.output_index(n) != static_cast<std::size_t>(-1)) continue;
+    const NetId reader = fanouts[n][0];
+    if (!reach[reader]) continue;
+    const GateType t = nl.gate(reader).type;
+    switch (t) {
+      case GateType::kBuf:
+        // in/0 == out/0, in/1 == out/1 — drop both input faults.
+        keep[n] = {false, false};
+        break;
+      case GateType::kNot:
+        // in/0 == out/1, in/1 == out/0 — drop both input faults.
+        keep[n] = {false, false};
+        break;
+      case GateType::kAnd:
+        // in s-a-0 == out s-a-0 (controlling value collapses).
+        keep[n][0] = false;
+        break;
+      case GateType::kNand:
+        // in s-a-0 == out s-a-1.
+        keep[n][0] = false;
+        break;
+      case GateType::kOr:
+        // in s-a-1 == out s-a-1.
+        keep[n][1] = false;
+        break;
+      case GateType::kNor:
+        // in s-a-1 == out s-a-0.
+        keep[n][1] = false;
+        break;
+      default:
+        break;  // XOR/XNOR: no structural equivalence
+    }
+  }
+
+  std::vector<Fault> out;
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    if (keep[n][0]) out.push_back(Fault{n, false});
+    if (keep[n][1]) out.push_back(Fault{n, true});
+  }
+  return out;
+}
+
+std::size_t full_fault_count(const Netlist& nl) {
+  const auto reach = netlist::reaches_output(nl);
+  std::size_t n = 0;
+  for (netlist::NetId id = 0; id < nl.num_nets(); ++id) {
+    if (reach[id]) n += 2;
+  }
+  return n;
+}
+
+}  // namespace fbist::fault

@@ -1,0 +1,44 @@
+#include "fault/fault.h"
+
+#include "fault/collapse.h"
+#include "netlist/levelize.h"
+
+namespace fbist::fault {
+
+std::string fault_name(const netlist::Netlist& nl, const Fault& f) {
+  return nl.gate(f.net).name + (f.stuck_value ? "/1" : "/0");
+}
+
+FaultList FaultList::full(const netlist::Netlist& nl) {
+  const auto reach = netlist::reaches_output(nl);
+  std::vector<Fault> faults;
+  faults.reserve(nl.num_nets() * 2);
+  for (netlist::NetId n = 0; n < nl.num_nets(); ++n) {
+    if (!reach[n]) continue;
+    faults.push_back(Fault{n, false});
+    faults.push_back(Fault{n, true});
+  }
+  return FaultList(std::move(faults));
+}
+
+FaultList FaultList::collapsed(const netlist::Netlist& nl) {
+  return FaultList(collapse_faults(nl));
+}
+
+std::size_t FaultList::find(const Fault& f) const {
+  for (std::size_t i = 0; i < faults_.size(); ++i) {
+    if (faults_[i] == f) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+FaultList FaultList::without(const std::vector<bool>& drop) const {
+  std::vector<Fault> kept;
+  kept.reserve(faults_.size());
+  for (std::size_t i = 0; i < faults_.size(); ++i) {
+    if (i >= drop.size() || !drop[i]) kept.push_back(faults_[i]);
+  }
+  return FaultList(std::move(kept));
+}
+
+}  // namespace fbist::fault

@@ -1,0 +1,50 @@
+#include "netlist/cone.h"
+
+#include <algorithm>
+
+namespace fbist::netlist {
+
+Cone fanout_cone(const Netlist& nl, NetId root) {
+  const auto& fo = nl.fanouts();
+  std::vector<bool> in_cone(nl.num_nets(), false);
+  in_cone[root] = true;
+
+  Cone cone;
+  // BFS over fanout edges; gate ids only grow along fanout edges, so
+  // sorting at the end yields a valid evaluation order.
+  std::vector<NetId> stack = {root};
+  while (!stack.empty()) {
+    const NetId n = stack.back();
+    stack.pop_back();
+    for (const NetId g : fo[n]) {
+      if (!in_cone[g]) {
+        in_cone[g] = true;
+        cone.gates.push_back(g);
+        stack.push_back(g);
+      }
+    }
+  }
+  std::sort(cone.gates.begin(), cone.gates.end());
+
+  const auto& outs = nl.outputs();
+  for (std::size_t i = 0; i < outs.size(); ++i) {
+    if (in_cone[outs[i]]) cone.output_positions.push_back(i);
+  }
+  return cone;
+}
+
+ConeIndex::ConeIndex(const Netlist& nl) {
+  cones_.reserve(nl.num_nets());
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    cones_.push_back(fanout_cone(nl, n));
+  }
+}
+
+double ConeIndex::mean_size() const {
+  if (cones_.empty()) return 0.0;
+  std::size_t total = 0;
+  for (const auto& c : cones_) total += c.gates.size();
+  return static_cast<double>(total) / static_cast<double>(cones_.size());
+}
+
+}  // namespace fbist::netlist

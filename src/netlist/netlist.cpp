@@ -1,0 +1,175 @@
+#include "netlist/netlist.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace fbist::netlist {
+
+const char* gate_type_name(GateType t) {
+  switch (t) {
+    case GateType::kInput: return "input";
+    case GateType::kBuf: return "buf";
+    case GateType::kNot: return "not";
+    case GateType::kAnd: return "and";
+    case GateType::kNand: return "nand";
+    case GateType::kOr: return "or";
+    case GateType::kNor: return "nor";
+    case GateType::kXor: return "xor";
+    case GateType::kXnor: return "xnor";
+  }
+  return "?";
+}
+
+GateType gate_type_from_name(const std::string& name) {
+  std::string low;
+  low.reserve(name.size());
+  for (const char c : name) low += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (low == "input") return GateType::kInput;
+  if (low == "buf" || low == "buff") return GateType::kBuf;
+  if (low == "not" || low == "inv") return GateType::kNot;
+  if (low == "and") return GateType::kAnd;
+  if (low == "nand") return GateType::kNand;
+  if (low == "or") return GateType::kOr;
+  if (low == "nor") return GateType::kNor;
+  if (low == "xor") return GateType::kXor;
+  if (low == "xnor") return GateType::kXnor;
+  throw std::runtime_error("unknown gate type: " + name);
+}
+
+bool has_controlling_value(GateType t) {
+  switch (t) {
+    case GateType::kAnd:
+    case GateType::kNand:
+    case GateType::kOr:
+    case GateType::kNor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool controlling_value(GateType t) {
+  return t == GateType::kOr || t == GateType::kNor;
+}
+
+bool is_inverting(GateType t) {
+  switch (t) {
+    case GateType::kNot:
+    case GateType::kNand:
+    case GateType::kNor:
+    case GateType::kXnor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+NetId Netlist::add_input(const std::string& name) {
+  if (by_name_.count(name) != 0) {
+    throw std::runtime_error("duplicate net name: " + name);
+  }
+  const NetId id = static_cast<NetId>(gates_.size());
+  gates_.push_back(Gate{GateType::kInput, {}, name});
+  inputs_.push_back(id);
+  by_name_.emplace(name, id);
+  fanout_valid_ = false;
+  return id;
+}
+
+NetId Netlist::add_gate(GateType type, const std::string& name, std::vector<NetId> fanin) {
+  if (type == GateType::kInput) {
+    throw std::runtime_error("use add_input for primary inputs");
+  }
+  if (by_name_.count(name) != 0) {
+    throw std::runtime_error("duplicate net name: " + name);
+  }
+  const NetId id = static_cast<NetId>(gates_.size());
+  for (const NetId f : fanin) {
+    if (f >= id) throw std::runtime_error("fanin must reference an existing net: " + name);
+  }
+  gates_.push_back(Gate{type, std::move(fanin), name});
+  by_name_.emplace(name, id);
+  fanout_valid_ = false;
+  return id;
+}
+
+void Netlist::mark_output(NetId net) {
+  if (net >= gates_.size()) throw std::runtime_error("mark_output: no such net");
+  if (std::find(outputs_.begin(), outputs_.end(), net) == outputs_.end()) {
+    outputs_.push_back(net);
+  }
+}
+
+NetId Netlist::find(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? kNullNet : it->second;
+}
+
+std::size_t Netlist::input_index(NetId net) const {
+  const auto it = std::find(inputs_.begin(), inputs_.end(), net);
+  return it == inputs_.end() ? static_cast<std::size_t>(-1)
+                             : static_cast<std::size_t>(it - inputs_.begin());
+}
+
+std::size_t Netlist::output_index(NetId net) const {
+  const auto it = std::find(outputs_.begin(), outputs_.end(), net);
+  return it == outputs_.end() ? static_cast<std::size_t>(-1)
+                              : static_cast<std::size_t>(it - outputs_.begin());
+}
+
+const std::vector<std::vector<NetId>>& Netlist::fanouts() const {
+  if (!fanout_valid_) {
+    fanout_cache_.assign(gates_.size(), {});
+    for (NetId g = 0; g < gates_.size(); ++g) {
+      for (const NetId f : gates_[g].fanin) {
+        fanout_cache_[f].push_back(g);
+      }
+    }
+    fanout_valid_ = true;
+  }
+  return fanout_cache_;
+}
+
+void Netlist::validate() const {
+  for (NetId id = 0; id < gates_.size(); ++id) {
+    const Gate& g = gates_[id];
+    for (const NetId f : g.fanin) {
+      if (f >= gates_.size()) {
+        throw std::runtime_error("net " + g.name + " has dangling fanin");
+      }
+      // add_gate enforces fanin < id, which also guarantees acyclicity.
+      if (f >= id) throw std::runtime_error("net " + g.name + " breaks topological order");
+    }
+    switch (g.type) {
+      case GateType::kInput:
+        if (!g.fanin.empty()) throw std::runtime_error("input with fanin: " + g.name);
+        break;
+      case GateType::kBuf:
+      case GateType::kNot:
+        if (g.fanin.size() != 1) {
+          throw std::runtime_error("unary gate with fanin != 1: " + g.name);
+        }
+        break;
+      default:
+        if (g.fanin.size() < 2) {
+          throw std::runtime_error("n-ary gate with fanin < 2: " + g.name);
+        }
+        break;
+    }
+  }
+  if (inputs_.empty()) throw std::runtime_error("netlist has no primary inputs");
+  if (outputs_.empty()) throw std::runtime_error("netlist has no primary outputs");
+  for (const NetId o : outputs_) {
+    if (o >= gates_.size()) throw std::runtime_error("dangling primary output");
+  }
+}
+
+std::string Netlist::summary(const std::string& label) const {
+  std::ostringstream ss;
+  if (!label.empty()) ss << label << ": ";
+  ss << num_inputs() << " PI, " << num_outputs() << " PO, " << num_gates() << " gates";
+  return ss.str();
+}
+
+}  // namespace fbist::netlist

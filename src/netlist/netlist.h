@@ -1,0 +1,108 @@
+// Gate-level combinational netlist model.
+//
+// The unit under test in the Functional-BIST flow is a combinational
+// circuit (ISCAS'85, or a full-scan-flattened ISCAS'89 circuit).  The
+// model is net-centric: every gate drives exactly one net, primary
+// inputs are nets without a driver, and fanout is implicit in the
+// fanin lists of downstream gates.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fbist::netlist {
+
+/// Combinational gate functions supported by the simulator and ATPG.
+enum class GateType : std::uint8_t {
+  kInput,  // primary input pseudo-gate (no fanin)
+  kBuf,
+  kNot,
+  kAnd,
+  kNand,
+  kOr,
+  kNor,
+  kXor,
+  kXnor,
+};
+
+/// Printable lowercase name ("and", "nand", ...).
+const char* gate_type_name(GateType t);
+/// Parses a gate-type name (case-insensitive); throws on unknown names.
+GateType gate_type_from_name(const std::string& name);
+/// True for AND/NAND/OR/NOR — gates with a controlling input value.
+bool has_controlling_value(GateType t);
+/// Controlling input value of AND/NAND (0) or OR/NOR (1). Precondition:
+/// has_controlling_value(t).
+bool controlling_value(GateType t);
+/// True if the gate inverts: NOT, NAND, NOR, XNOR.
+bool is_inverting(GateType t);
+
+/// Identifier of a net == identifier of its driving gate.
+using NetId = std::uint32_t;
+constexpr NetId kNullNet = static_cast<NetId>(-1);
+
+/// One gate and the net it drives.
+struct Gate {
+  GateType type = GateType::kInput;
+  std::vector<NetId> fanin;  // driving nets, ordered
+  std::string name;          // net name (unique)
+};
+
+/// A combinational netlist.
+///
+/// Invariants after validate():
+///  - every fanin reference points to an existing net,
+///  - the graph is acyclic,
+///  - every primary output names an existing net,
+///  - non-input gates have a type-legal fanin count.
+class Netlist {
+ public:
+  /// Adds a primary input; returns its net id.
+  NetId add_input(const std::string& name);
+  /// Adds a gate driving a fresh net; returns the net id.
+  NetId add_gate(GateType type, const std::string& name, std::vector<NetId> fanin);
+  /// Declares an existing net as primary output.
+  void mark_output(NetId net);
+
+  std::size_t num_nets() const { return gates_.size(); }
+  std::size_t num_inputs() const { return inputs_.size(); }
+  std::size_t num_outputs() const { return outputs_.size(); }
+  /// Number of logic gates (nets that are not primary inputs).
+  std::size_t num_gates() const { return gates_.size() - inputs_.size(); }
+
+  const Gate& gate(NetId id) const { return gates_[id]; }
+  const std::vector<NetId>& inputs() const { return inputs_; }
+  const std::vector<NetId>& outputs() const { return outputs_; }
+
+  /// Net id by name, or kNullNet.
+  NetId find(const std::string& name) const;
+
+  /// Position of `net` in inputs(), or SIZE_MAX if not a primary input.
+  std::size_t input_index(NetId net) const;
+  /// Position of `net` in outputs(), or SIZE_MAX if not a primary output.
+  std::size_t output_index(NetId net) const;
+
+  /// Fanout adjacency: for each net, the gates reading it.  Built lazily
+  /// and cached; invalidated by structural edits.
+  const std::vector<std::vector<NetId>>& fanouts() const;
+
+  /// Checks all structural invariants; throws std::runtime_error with a
+  /// diagnostic on violation.
+  void validate() const;
+
+  /// Human-readable one-line summary ("c432-like: 36 PI, 7 PO, 203 gates").
+  std::string summary(const std::string& label = {}) const;
+
+ private:
+  std::vector<Gate> gates_;
+  std::vector<NetId> inputs_;
+  std::vector<NetId> outputs_;
+  std::unordered_map<std::string, NetId> by_name_;
+  mutable std::vector<std::vector<NetId>> fanout_cache_;
+  mutable bool fanout_valid_ = false;
+};
+
+}  // namespace fbist::netlist

@@ -1,0 +1,57 @@
+#include "netlist/stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "netlist/levelize.h"
+
+namespace fbist::netlist {
+
+CircuitStats compute_stats(const Netlist& nl) {
+  CircuitStats s;
+  s.num_inputs = nl.num_inputs();
+  s.num_outputs = nl.num_outputs();
+  s.num_gates = nl.num_gates();
+  s.num_nets = nl.num_nets();
+  s.depth = depth(nl);
+
+  std::size_t fanin_total = 0;
+  for (NetId id = 0; id < nl.num_nets(); ++id) {
+    const Gate& g = nl.gate(id);
+    s.per_type[static_cast<std::size_t>(g.type)]++;
+    fanin_total += g.fanin.size();
+  }
+  s.avg_fanin = s.num_gates == 0 ? 0.0
+                                 : static_cast<double>(fanin_total) /
+                                       static_cast<double>(s.num_gates);
+
+  const auto& fo = nl.fanouts();
+  std::size_t fo_total = 0;
+  for (const auto& f : fo) {
+    fo_total += f.size();
+    s.max_fanout = std::max(s.max_fanout, f.size());
+  }
+  s.avg_fanout = s.num_nets == 0 ? 0.0
+                                 : static_cast<double>(fo_total) /
+                                       static_cast<double>(s.num_nets);
+  return s;
+}
+
+std::string stats_to_string(const CircuitStats& s, const std::string& name) {
+  std::ostringstream ss;
+  if (!name.empty()) ss << name << ":\n";
+  ss << "  PI=" << s.num_inputs << " PO=" << s.num_outputs
+     << " gates=" << s.num_gates << " nets=" << s.num_nets
+     << " depth=" << s.depth << "\n";
+  ss << "  avg fanin=" << s.avg_fanin << " avg fanout=" << s.avg_fanout
+     << " max fanout=" << s.max_fanout << "\n";
+  ss << "  per-type:";
+  for (std::size_t t = 0; t < s.per_type.size(); ++t) {
+    if (s.per_type[t] == 0) continue;
+    ss << ' ' << gate_type_name(static_cast<GateType>(t)) << '=' << s.per_type[t];
+  }
+  ss << '\n';
+  return ss.str();
+}
+
+}  // namespace fbist::netlist

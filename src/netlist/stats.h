@@ -1,0 +1,30 @@
+// Circuit statistics for reports and the DESIGN/EXPERIMENTS tables.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace fbist::netlist {
+
+struct CircuitStats {
+  std::size_t num_inputs = 0;
+  std::size_t num_outputs = 0;
+  std::size_t num_gates = 0;
+  std::size_t num_nets = 0;
+  std::size_t depth = 0;
+  double avg_fanin = 0.0;
+  double avg_fanout = 0.0;
+  std::size_t max_fanout = 0;
+  /// Gate count per GateType (indexed by the enum's underlying value).
+  std::array<std::size_t, 9> per_type{};
+};
+
+CircuitStats compute_stats(const Netlist& nl);
+
+/// Multi-line human-readable rendering.
+std::string stats_to_string(const CircuitStats& s, const std::string& name = {});
+
+}  // namespace fbist::netlist

@@ -1,0 +1,53 @@
+#include "reseed/initial_builder.h"
+
+#include <cassert>
+
+#include "util/parallel.h"
+
+namespace fbist::reseed {
+
+InitialReseeding build_initial_reseeding(const sim::FaultSim& fsim,
+                                         const tpg::Tpg& tpg,
+                                         const sim::PatternSet& atpg_patterns,
+                                         const BuilderOptions& opts) {
+  assert(atpg_patterns.num_inputs() == tpg.width());
+  const std::size_t M = atpg_patterns.size();
+  const std::size_t F = fsim.faults().size();
+
+  InitialReseeding out;
+  out.triplets.reserve(M);
+
+  util::Rng rng(opts.seed);
+  util::WideWord shared = tpg.legalize_sigma(util::WideWord::random(tpg.width(), rng));
+  for (std::size_t i = 0; i < M; ++i) {
+    tpg::Triplet t;
+    t.delta = atpg_patterns.pattern(i);
+    t.sigma = opts.shared_sigma
+                  ? shared
+                  : tpg.legalize_sigma(util::WideWord::random(tpg.width(), rng));
+    t.cycles = opts.cycles_per_triplet == 0 ? 1 : opts.cycles_per_triplet;
+    out.triplets.push_back(std::move(t));
+  }
+
+  out.matrix = cover::DetectionMatrix(M, F);
+  std::vector<std::vector<std::uint32_t>> earliest(M);
+
+  // Each row is an independent fault-sim campaign; the fault simulator
+  // already parallelises across faults, so rows run sequentially here to
+  // avoid nested thread pools.
+  for (std::size_t i = 0; i < M; ++i) {
+    const sim::PatternSet ts = tpg::expand_triplet(tpg, out.triplets[i]);
+    const sim::FaultSimResult r = fsim.run(ts, /*stop_after_first_detection=*/true);
+    out.matrix.set_row(i, r.detected);
+    earliest[i] = r.earliest;
+  }
+  out.matrix.attach_earliest(std::move(earliest));
+
+  const util::BitVector coverable = out.matrix.coverable();
+  for (std::size_t c = 0; c < F; ++c) {
+    if (!coverable.get(c)) out.uncovered_faults.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace fbist::reseed

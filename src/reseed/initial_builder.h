@@ -1,0 +1,54 @@
+// Initial Reseeding Builder.
+//
+// Implements Section 3.1 of the paper: starting from a complete
+// deterministic ATPG test set ATPGTS = {p_0 ... p_{M-1}}, build one
+// candidate triplet per pattern — delta = p_i, sigma chosen at random
+// (legalized by the TPG), T fixed and equal for all triplets — then
+// fault-simulate each triplet's test set TS_i to fill the Detection
+// Matrix.  With T = 1 the union of the TS_i degenerates to ATPGTS
+// itself, so the initial reseeding is complete by construction.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cover/detection_matrix.h"
+#include "fault/fault.h"
+#include "netlist/netlist.h"
+#include "sim/fault_sim.h"
+#include "sim/pattern.h"
+#include "tpg/tpg.h"
+#include "tpg/triplet.h"
+#include "util/rng.h"
+
+namespace fbist::reseed {
+
+struct BuilderOptions {
+  /// Evolution length T applied to every candidate triplet ("the value T
+  /// is experimentally tuned and fixed equal for all the triplets").
+  std::size_t cycles_per_triplet = 64;
+  /// Seed for the sigma draws.
+  std::uint64_t seed = 7;
+  /// Use one shared random sigma for all triplets (false: fresh draw per
+  /// triplet).  The paper draws sigma randomly per triplet.
+  bool shared_sigma = false;
+};
+
+/// The initial reseeding T plus its Detection Matrix.
+struct InitialReseeding {
+  std::vector<tpg::Triplet> triplets;      // M candidates, one per ATPG pattern
+  cover::DetectionMatrix matrix;           // M x |F|, earliest indices attached
+  /// Faults (column ids) not detected by any candidate triplet.  The
+  /// optimizer restricts the covering problem to the coverable columns
+  /// and reports these separately (they need a longer T or more seeds).
+  std::vector<std::size_t> uncovered_faults;
+};
+
+/// Builds the initial reseeding for `atpg_patterns` on `tpg` against the
+/// fault list inside `fsim`.
+InitialReseeding build_initial_reseeding(const sim::FaultSim& fsim,
+                                         const tpg::Tpg& tpg,
+                                         const sim::PatternSet& atpg_patterns,
+                                         const BuilderOptions& opts = {});
+
+}  // namespace fbist::reseed

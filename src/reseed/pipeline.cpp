@@ -1,0 +1,64 @@
+#include "reseed/pipeline.h"
+
+#include <stdexcept>
+
+namespace fbist::reseed {
+
+Pipeline::Pipeline(const std::string& circuit_name, PipelineOptions opts)
+    : name_(circuit_name),
+      opts_(opts),
+      nl_(circuits::make_circuit(circuit_name)),
+      faults_(fault::FaultList::collapsed(nl_)) {
+  init();
+}
+
+Pipeline::Pipeline(netlist::Netlist nl, std::string name, PipelineOptions opts)
+    : name_(std::move(name)),
+      opts_(opts),
+      nl_(std::move(nl)),
+      faults_(fault::FaultList::collapsed(nl_)) {
+  init();
+}
+
+void Pipeline::init() {
+  // TestGen substitute: deterministic ATPG provides the complete test
+  // set ATPGTS and implicitly defines the target fault list F — the
+  // faults it detects.  Redundant and aborted faults leave the target
+  // list (the paper's F is the ATPG tool's detected-fault list, and
+  // coverable fault coverage is measured against it).
+  {
+    const fault::FaultList all = fault::FaultList::collapsed(nl_);
+    sim::FaultSim tmp_sim(nl_, all);
+    atpg::AtpgOptions aopts = opts_.atpg;
+    aopts.seed ^= util::hash_string(name_);
+    atpg_ = atpg::run_atpg(nl_, all, aopts);
+
+    std::vector<bool> drop(all.size(), false);
+    for (std::size_t f = 0; f < all.size(); ++f) {
+      drop[f] = atpg_.verdict[f] != atpg::FaultVerdict::kDetected;
+    }
+    faults_ = all.without(drop);
+  }
+  if (faults_.size() == 0) {
+    throw std::runtime_error("pipeline: ATPG detected no faults on " + name_);
+  }
+  fsim_ = std::make_unique<sim::FaultSim>(nl_, faults_);
+}
+
+std::pair<InitialReseeding, ReseedingSolution> Pipeline::run_detailed(
+    tpg::TpgKind kind, std::size_t cycles) const {
+  const auto tpg = tpg::make_tpg(kind, nl_.num_inputs());
+  BuilderOptions b = opts_.builder;
+  if (cycles != 0) b.cycles_per_triplet = cycles;
+  b.seed ^= util::hash_string(name_) ^ static_cast<std::uint64_t>(kind);
+  InitialReseeding initial =
+      build_initial_reseeding(*fsim_, *tpg, atpg_.patterns, b);
+  ReseedingSolution sol = optimize(initial, opts_.optimizer);
+  return {std::move(initial), std::move(sol)};
+}
+
+ReseedingSolution Pipeline::run(tpg::TpgKind kind, std::size_t cycles) const {
+  return run_detailed(kind, cycles).second;
+}
+
+}  // namespace fbist::reseed

@@ -1,0 +1,70 @@
+// End-to-end Functional-BIST reseeding pipeline for one circuit + TPG.
+//
+// Bundles the whole computation flow of the paper's Figure 1:
+//   circuit -> collapsed fault list -> ATPG (TestGen substitute)
+//           -> Initial Reseeding Builder -> Matrix Reducer -> exact solve
+//           -> final reseeding solution.
+//
+// The pipeline object owns the per-circuit state (netlist, fault list,
+// fault simulator, ATPG test set) so that multiple TPGs / multiple T
+// values can be evaluated without re-running ATPG.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "atpg/engine.h"
+#include "circuits/registry.h"
+#include "fault/fault.h"
+#include "netlist/netlist.h"
+#include "reseed/initial_builder.h"
+#include "reseed/optimizer.h"
+#include "sim/fault_sim.h"
+#include "tpg/tpg.h"
+
+namespace fbist::reseed {
+
+struct PipelineOptions {
+  atpg::AtpgOptions atpg;
+  BuilderOptions builder;
+  OptimizerOptions optimizer;
+};
+
+/// Per-circuit context reusable across TPGs.
+class Pipeline {
+ public:
+  /// Builds the context for a registry circuit (see circuits/registry.h).
+  explicit Pipeline(const std::string& circuit_name, PipelineOptions opts = {});
+  /// Builds the context for an arbitrary netlist.
+  Pipeline(netlist::Netlist nl, std::string name, PipelineOptions opts = {});
+
+  /// Runs Initial Reseeding Builder + optimizer for one TPG kind.
+  /// Overrides the per-triplet evolution length when `cycles` != 0.
+  ReseedingSolution run(tpg::TpgKind kind, std::size_t cycles = 0) const;
+
+  /// Like run(), but also returns the initial reseeding (for benches
+  /// that inspect the matrix itself).
+  std::pair<InitialReseeding, ReseedingSolution> run_detailed(
+      tpg::TpgKind kind, std::size_t cycles = 0) const;
+
+  const std::string& name() const { return name_; }
+  const netlist::Netlist& circuit() const { return nl_; }
+  const fault::FaultList& faults() const { return faults_; }
+  const sim::FaultSim& fault_sim() const { return *fsim_; }
+  const atpg::AtpgResult& atpg_result() const { return atpg_; }
+  const sim::PatternSet& atpg_patterns() const { return atpg_.patterns; }
+  const PipelineOptions& options() const { return opts_; }
+
+ private:
+  void init();
+
+  std::string name_;
+  PipelineOptions opts_;
+  netlist::Netlist nl_;
+  fault::FaultList faults_;
+  std::unique_ptr<sim::FaultSim> fsim_;
+  atpg::AtpgResult atpg_;
+};
+
+}  // namespace fbist::reseed

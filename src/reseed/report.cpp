@@ -1,0 +1,52 @@
+#include "reseed/report.h"
+
+#include <sstream>
+
+namespace fbist::reseed {
+
+void append_table1_row(util::Table& table, const std::string& circuit,
+                       const std::vector<Table1Cell>& cells) {
+  std::vector<std::string> row = {circuit};
+  for (const auto& c : cells) {
+    if (!c.available) {
+      row.push_back("-");
+      row.push_back("-");
+    } else {
+      row.push_back(std::to_string(c.num_triplets));
+      row.push_back(std::to_string(c.test_length));
+    }
+  }
+  table.add_row(std::move(row));
+}
+
+std::string solution_to_string(const ReseedingSolution& sol,
+                               const std::string& label) {
+  std::ostringstream ss;
+  if (!label.empty()) ss << label << "\n";
+  ss << "  triplets=" << sol.num_triplets() << " test_length=" << sol.test_length
+     << " covered=" << sol.faults_covered << "/" << sol.faults_targeted;
+  if (sol.faults_uncoverable > 0) {
+    ss << " (uncoverable by candidates: " << sol.faults_uncoverable << ")";
+  }
+  ss << "\n  necessary=" << sol.necessary_count << " solver=" << sol.solver_count
+     << " residual=" << sol.residual_rows << "x" << sol.residual_cols
+     << " nodes=" << sol.solver_nodes
+     << (sol.solver_optimal ? " [optimal]" : " [heuristic]") << "\n";
+  for (const auto& st : sol.selected) {
+    ss << "    #" << st.triplet_index << " " << st.triplet.to_string()
+       << " assigned=" << st.assigned_faults
+       << (st.necessary ? " [necessary]" : "") << "\n";
+  }
+  return ss.str();
+}
+
+Table2Cell table2_cell(const ReseedingSolution& sol) {
+  Table2Cell c;
+  c.necessary = sol.necessary_count;
+  c.from_solver = sol.solver_count;
+  c.residual_rows = sol.residual_rows;
+  c.residual_cols = sol.residual_cols;
+  return c;
+}
+
+}  // namespace fbist::reseed

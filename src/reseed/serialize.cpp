@@ -1,0 +1,139 @@
+#include "reseed/serialize.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fbist::reseed {
+
+std::size_t RomImage::test_length() const {
+  std::size_t n = 0;
+  for (const auto& t : triplets) n += t.cycles;
+  return n;
+}
+
+std::size_t RomImage::rom_bits() const {
+  return triplets.size() * (2 * width + 32);
+}
+
+bool RomImage::operator==(const RomImage& o) const {
+  if (circuit != o.circuit || tpg_name != o.tpg_name || width != o.width ||
+      triplets.size() != o.triplets.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < triplets.size(); ++i) {
+    if (!(triplets[i].delta == o.triplets[i].delta) ||
+        !(triplets[i].sigma == o.triplets[i].sigma) ||
+        triplets[i].cycles != o.triplets[i].cycles) {
+      return false;
+    }
+  }
+  return true;
+}
+
+RomImage to_rom_image(const ReseedingSolution& sol, const std::string& circuit,
+                      const std::string& tpg_name, std::size_t width) {
+  RomImage rom;
+  rom.circuit = circuit;
+  rom.tpg_name = tpg_name;
+  rom.width = width;
+  rom.triplets.reserve(sol.selected.size());
+  for (const auto& st : sol.selected) rom.triplets.push_back(st.triplet);
+  return rom;
+}
+
+void write_rom(const RomImage& rom, std::ostream& out) {
+  out << "fbist-rom v1\n";
+  out << "circuit " << rom.circuit << "\n";
+  out << "tpg " << rom.tpg_name << "\n";
+  out << "width " << rom.width << "\n";
+  out << "# " << rom.triplets.size() << " triplets, " << rom.test_length()
+      << " patterns, " << rom.rom_bits() << " ROM bits\n";
+  for (const auto& t : rom.triplets) {
+    out << "triplet " << t.delta.to_hex() << " " << t.sigma.to_hex() << " "
+        << t.cycles << "\n";
+  }
+}
+
+RomImage read_rom(std::istream& in) {
+  RomImage rom;
+  std::string line;
+  std::size_t line_no = 0;
+  bool header_seen = false;
+
+  auto fail = [&](const std::string& msg) -> void {
+    throw std::runtime_error("rom line " + std::to_string(line_no) + ": " + msg);
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::string key;
+    ss >> key;
+    if (!header_seen) {
+      std::string version;
+      ss >> version;
+      if (key != "fbist-rom" || version != "v1") {
+        fail("expected 'fbist-rom v1' header");
+      }
+      header_seen = true;
+      continue;
+    }
+    if (key == "circuit") {
+      ss >> rom.circuit;
+    } else if (key == "tpg") {
+      ss >> rom.tpg_name;
+    } else if (key == "width") {
+      ss >> rom.width;
+      if (ss.fail() || rom.width == 0) fail("bad width");
+    } else if (key == "triplet") {
+      if (rom.width == 0) fail("triplet before width");
+      std::string delta_hex, sigma_hex;
+      std::size_t cycles = 0;
+      ss >> delta_hex >> sigma_hex >> cycles;
+      if (ss.fail() || cycles == 0) fail("bad triplet record");
+      tpg::Triplet t;
+      try {
+        t.delta = util::WideWord::from_hex(rom.width, delta_hex);
+        t.sigma = util::WideWord::from_hex(rom.width, sigma_hex);
+      } catch (const std::invalid_argument& e) {
+        fail(e.what());
+      }
+      t.cycles = cycles;
+      rom.triplets.push_back(std::move(t));
+    } else {
+      fail("unknown record '" + key + "'");
+    }
+  }
+  if (!header_seen) throw std::runtime_error("rom: empty input");
+  if (rom.circuit.empty() || rom.tpg_name.empty() || rom.width == 0) {
+    throw std::runtime_error("rom: incomplete header (circuit/tpg/width)");
+  }
+  return rom;
+}
+
+std::string rom_to_string(const RomImage& rom) {
+  std::ostringstream ss;
+  write_rom(rom, ss);
+  return ss.str();
+}
+
+RomImage rom_from_string(const std::string& text) {
+  std::istringstream ss(text);
+  return read_rom(ss);
+}
+
+void write_rom_file(const RomImage& rom, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot write " + path);
+  write_rom(rom, f);
+}
+
+RomImage read_rom_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  return read_rom(f);
+}
+
+}  // namespace fbist::reseed

@@ -1,0 +1,59 @@
+// Persistence of reseeding solutions — the "BIST ROM image".
+//
+// A reseeding solution is what the BIST controller actually consumes:
+// an ordered list of (delta, sigma, T) records plus the TPG
+// configuration they target.  This module defines a small line-oriented
+// text format so solutions can be computed offline, versioned, diffed
+// and loaded back:
+//
+//   fbist-rom v1
+//   circuit s1238
+//   tpg adder
+//   width 32
+//   triplet <delta-hex> <sigma-hex> <cycles>
+//   triplet ...
+//
+// Lines starting with '#' are comments; fields are space-separated.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "reseed/optimizer.h"
+#include "tpg/triplet.h"
+
+namespace fbist::reseed {
+
+/// Everything needed to replay a reseeding solution on hardware.
+struct RomImage {
+  std::string circuit;
+  std::string tpg_name;   // "adder", "multiplier", ...
+  std::size_t width = 0;  // TPG register width in bits
+  std::vector<tpg::Triplet> triplets;
+
+  /// Total pattern count (sum of triplet cycles).
+  std::size_t test_length() const;
+  /// Storage cost in bits: per triplet 2*width (delta, sigma) + 32 (T).
+  std::size_t rom_bits() const;
+
+  bool operator==(const RomImage& o) const;
+};
+
+/// Builds the ROM image of a computed solution.
+RomImage to_rom_image(const ReseedingSolution& sol, const std::string& circuit,
+                      const std::string& tpg_name, std::size_t width);
+
+/// Serialization.  write_rom always succeeds on a good stream; read_rom
+/// throws std::runtime_error with a line-numbered message on malformed
+/// input.
+void write_rom(const RomImage& rom, std::ostream& out);
+RomImage read_rom(std::istream& in);
+
+std::string rom_to_string(const RomImage& rom);
+RomImage rom_from_string(const std::string& text);
+
+void write_rom_file(const RomImage& rom, const std::string& path);
+RomImage read_rom_file(const std::string& path);
+
+}  // namespace fbist::reseed

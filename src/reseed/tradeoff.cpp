@@ -1,0 +1,29 @@
+#include "reseed/tradeoff.h"
+
+namespace fbist::reseed {
+
+std::vector<TradeoffPoint> tradeoff_sweep(const sim::FaultSim& fsim,
+                                          const tpg::Tpg& tpg,
+                                          const sim::PatternSet& atpg_patterns,
+                                          const TradeoffOptions& opts) {
+  std::vector<TradeoffPoint> points;
+  points.reserve(opts.cycle_values.size());
+  for (const std::size_t cycles : opts.cycle_values) {
+    BuilderOptions b = opts.builder;
+    b.cycles_per_triplet = cycles;
+    const InitialReseeding initial =
+        build_initial_reseeding(fsim, tpg, atpg_patterns, b);
+    const ReseedingSolution sol = optimize(initial, opts.optimizer);
+
+    TradeoffPoint p;
+    p.cycles_per_triplet = cycles;
+    p.num_triplets = sol.num_triplets();
+    p.test_length = sol.test_length;
+    p.faults_targeted = sol.faults_targeted;
+    p.faults_covered = sol.faults_covered;
+    points.push_back(p);
+  }
+  return points;
+}
+
+}  // namespace fbist::reseed

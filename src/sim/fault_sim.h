@@ -1,0 +1,81 @@
+// Parallel-pattern single-fault-propagation (PPSFP) fault simulation.
+//
+// For each 64-pattern block the simulator computes good values once,
+// then for each live fault re-evaluates only the fault's fanout cone
+// with the fault site forced, comparing cone primary outputs against the
+// good response.  Detection bits, and optionally the *earliest detecting
+// pattern index* per fault, are accumulated — the latter drives the
+// paper's per-triplet test-length trimming.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "fault/fault.h"
+#include "netlist/cone.h"
+#include "sim/logic_sim.h"
+#include "sim/pattern.h"
+#include "util/bitvector.h"
+
+namespace fbist::sim {
+
+/// Sentinel for "fault never detected".
+constexpr std::uint32_t kNotDetected = std::numeric_limits<std::uint32_t>::max();
+
+/// Result of a fault-simulation campaign over one pattern set.
+struct FaultSimResult {
+  /// detected.get(f) == fault f was detected by at least one pattern.
+  util::BitVector detected;
+  /// earliest[f]: index of the first detecting pattern, or kNotDetected.
+  std::vector<std::uint32_t> earliest;
+
+  std::size_t num_detected() const { return detected.count(); }
+  double coverage_percent(std::size_t total_faults) const {
+    return total_faults == 0
+               ? 100.0
+               : 100.0 * static_cast<double>(detected.count()) /
+                     static_cast<double>(total_faults);
+  }
+};
+
+/// Fault simulator bound to one netlist + fault list.  The cone index is
+/// built once per circuit and shared across campaigns.
+class FaultSim {
+ public:
+  FaultSim(const netlist::Netlist& nl, const fault::FaultList& faults);
+
+  /// Simulates all patterns against all faults.
+  ///
+  /// `stop_after_first_detection` enables within-campaign fault dropping:
+  /// once a fault is detected its remaining blocks are skipped (the
+  /// earliest index is exact either way, because blocks are processed in
+  /// pattern order and within a block the lowest set lane is taken).
+  ///
+  /// `parallel` distributes faults across hardware threads.
+  FaultSimResult run(const PatternSet& patterns,
+                     bool stop_after_first_detection = true,
+                     bool parallel = true) const;
+
+  /// Simulates patterns against the subset of faults flagged `active`
+  /// (size = fault count).  Used by the ATPG's fault-dropping loop.
+  FaultSimResult run_subset(const PatternSet& patterns,
+                            const std::vector<bool>& active,
+                            bool stop_after_first_detection = true,
+                            bool parallel = true) const;
+
+  /// True iff `pattern` detects fault `f` (single-pattern probe).
+  bool detects(const util::WideWord& pattern, std::size_t fault_id) const;
+
+  const fault::FaultList& faults() const { return faults_; }
+  const netlist::Netlist& netlist() const { return nl_; }
+
+ private:
+  const netlist::Netlist& nl_;
+  const fault::FaultList& faults_;
+  LogicSim good_sim_;
+  netlist::ConeIndex cones_;
+};
+
+}  // namespace fbist::sim

@@ -1,0 +1,112 @@
+#include "sim/logic_sim.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace fbist::sim {
+
+using netlist::GateType;
+using netlist::NetId;
+
+Word eval_gate(GateType type, const Word* fanin_values, std::size_t fanin_count) {
+  switch (type) {
+    case GateType::kInput:
+      throw std::logic_error("eval_gate on primary input");
+    case GateType::kBuf:
+      return fanin_values[0];
+    case GateType::kNot:
+      return ~fanin_values[0];
+    case GateType::kAnd: {
+      Word v = fanin_values[0];
+      for (std::size_t i = 1; i < fanin_count; ++i) v &= fanin_values[i];
+      return v;
+    }
+    case GateType::kNand: {
+      Word v = fanin_values[0];
+      for (std::size_t i = 1; i < fanin_count; ++i) v &= fanin_values[i];
+      return ~v;
+    }
+    case GateType::kOr: {
+      Word v = fanin_values[0];
+      for (std::size_t i = 1; i < fanin_count; ++i) v |= fanin_values[i];
+      return v;
+    }
+    case GateType::kNor: {
+      Word v = fanin_values[0];
+      for (std::size_t i = 1; i < fanin_count; ++i) v |= fanin_values[i];
+      return ~v;
+    }
+    case GateType::kXor: {
+      Word v = fanin_values[0];
+      for (std::size_t i = 1; i < fanin_count; ++i) v ^= fanin_values[i];
+      return v;
+    }
+    case GateType::kXnor: {
+      Word v = fanin_values[0];
+      for (std::size_t i = 1; i < fanin_count; ++i) v ^= fanin_values[i];
+      return ~v;
+    }
+  }
+  return 0;
+}
+
+void LogicSim::simulate_word(const PatternSet& patterns, std::size_t base,
+                             std::vector<Word>& values) const {
+  assert(patterns.num_inputs() == nl_.num_inputs());
+  values.assign(nl_.num_nets(), 0);
+
+  // Load PI slices.
+  const auto& inputs = nl_.inputs();
+  const std::size_t word_index = base / 64;
+  assert(base % 64 == 0);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const auto& slice_words = patterns.slice(i).words();
+    values[inputs[i]] = word_index < slice_words.size() ? slice_words[word_index] : 0;
+  }
+
+  Word fanin_buf[8];
+  for (NetId id = 0; id < nl_.num_nets(); ++id) {
+    const auto& g = nl_.gate(id);
+    if (g.type == GateType::kInput) continue;
+    const std::size_t k = g.fanin.size();
+    if (k <= 8) {
+      for (std::size_t i = 0; i < k; ++i) fanin_buf[i] = values[g.fanin[i]];
+      values[id] = eval_gate(g.type, fanin_buf, k);
+    } else {
+      std::vector<Word> wide(k);
+      for (std::size_t i = 0; i < k; ++i) wide[i] = values[g.fanin[i]];
+      values[id] = eval_gate(g.type, wide.data(), k);
+    }
+  }
+}
+
+std::vector<std::vector<Word>> LogicSim::simulate(const PatternSet& patterns) const {
+  const std::size_t blocks = (patterns.size() + 63) / 64;
+  std::vector<std::vector<Word>> result(blocks);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    simulate_word(patterns, b * 64, result[b]);
+  }
+  return result;
+}
+
+std::vector<bool> LogicSim::simulate_single(const util::WideWord& pattern) const {
+  PatternSet ps(nl_.num_inputs(), 0);
+  ps.append(pattern);
+  std::vector<Word> values;
+  simulate_word(ps, 0, values);
+  std::vector<bool> out(nl_.num_nets());
+  for (std::size_t n = 0; n < out.size(); ++n) out[n] = values[n] & 1u;
+  return out;
+}
+
+util::WideWord LogicSim::output_response(const util::WideWord& pattern) const {
+  const auto values = simulate_single(pattern);
+  util::WideWord resp(nl_.num_outputs());
+  const auto& outs = nl_.outputs();
+  for (std::size_t i = 0; i < outs.size(); ++i) {
+    resp.set_bit(i, values[outs[i]]);
+  }
+  return resp;
+}
+
+}  // namespace fbist::sim

@@ -1,0 +1,49 @@
+// 64-way parallel-pattern logic simulation.
+//
+// Values are bit-sliced: one machine word holds the value of a net under
+// 64 independent patterns, so a full-circuit evaluation of a word costs
+// one pass over the gate array with plain bitwise ops.  This layout is
+// shared with the fault simulator (fault_sim.h), which re-evaluates only
+// fault cones on top of the good-value state produced here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "sim/pattern.h"
+
+namespace fbist::sim {
+
+using Word = std::uint64_t;
+
+/// Evaluates one gate over bit-sliced fanin values.
+Word eval_gate(netlist::GateType type, const Word* fanin_values, std::size_t fanin_count);
+
+/// Parallel-pattern good-value simulator for one netlist.
+class LogicSim {
+ public:
+  explicit LogicSim(const netlist::Netlist& nl) : nl_(nl) {}
+
+  /// Simulates one word (<= 64 patterns) of a pattern set starting at
+  /// pattern `base`, writing per-net values into `values` (resized to
+  /// num_nets).  Pattern j of the word corresponds to bit j.
+  void simulate_word(const PatternSet& patterns, std::size_t base,
+                     std::vector<Word>& values) const;
+
+  /// Simulates all patterns; result[w][net] is the value word of block w.
+  std::vector<std::vector<Word>> simulate(const PatternSet& patterns) const;
+
+  /// Convenience: single-pattern evaluation; returns per-net boolean values.
+  std::vector<bool> simulate_single(const util::WideWord& pattern) const;
+
+  /// Primary-output response of a single pattern, one bit per PO.
+  util::WideWord output_response(const util::WideWord& pattern) const;
+
+  const netlist::Netlist& netlist() const { return nl_; }
+
+ private:
+  const netlist::Netlist& nl_;
+};
+
+}  // namespace fbist::sim

@@ -1,0 +1,103 @@
+#include "sim/pattern.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace fbist::sim {
+
+PatternSet::PatternSet(std::size_t num_inputs, std::size_t num_patterns)
+    : num_inputs_(num_inputs), num_patterns_(num_patterns), capacity_(num_patterns) {
+  slices_.assign(num_inputs, util::BitVector(num_patterns));
+}
+
+bool PatternSet::get(std::size_t pattern, std::size_t input) const {
+  assert(pattern < num_patterns_ && input < num_inputs_);
+  return slices_[input].get(pattern);
+}
+
+void PatternSet::set(std::size_t pattern, std::size_t input, bool value) {
+  assert(pattern < num_patterns_ && input < num_inputs_);
+  slices_[input].set(pattern, value);
+}
+
+void PatternSet::ensure_capacity(std::size_t patterns) {
+  if (patterns <= capacity_) return;
+  std::size_t new_cap = capacity_ == 0 ? 64 : capacity_;
+  while (new_cap < patterns) new_cap *= 2;
+  for (auto& slice : slices_) {
+    util::BitVector grown(new_cap);
+    slice.for_each_set([&grown](std::size_t i) { grown.set(i); });
+    slice = std::move(grown);
+  }
+  capacity_ = new_cap;
+}
+
+void PatternSet::append(const util::WideWord& pattern) {
+  if (num_inputs_ == 0 && slices_.empty()) {
+    num_inputs_ = pattern.bits();
+    slices_.assign(num_inputs_, util::BitVector(0));
+    capacity_ = 0;
+  }
+  if (pattern.bits() != num_inputs_) {
+    throw std::invalid_argument("PatternSet::append: width mismatch");
+  }
+  ensure_capacity(num_patterns_ + 1);
+  for (std::size_t i = 0; i < num_inputs_; ++i) {
+    if (pattern.get_bit(i)) slices_[i].set(num_patterns_);
+  }
+  ++num_patterns_;
+}
+
+void PatternSet::append(const std::vector<bool>& pattern) {
+  util::WideWord w(pattern.size());
+  for (std::size_t i = 0; i < pattern.size(); ++i) w.set_bit(i, pattern[i]);
+  append(w);
+}
+
+void PatternSet::append_all(const PatternSet& other) {
+  if (other.empty()) return;
+  if (num_inputs_ == 0 && num_patterns_ == 0) {
+    *this = other;
+    return;
+  }
+  if (other.num_inputs_ != num_inputs_) {
+    throw std::invalid_argument("PatternSet::append_all: width mismatch");
+  }
+  ensure_capacity(num_patterns_ + other.num_patterns_);
+  for (std::size_t i = 0; i < num_inputs_; ++i) {
+    const std::size_t base = num_patterns_;
+    other.slices_[i].for_each_set(
+        [&](std::size_t p) { slices_[i].set(base + p); });
+  }
+  num_patterns_ += other.num_patterns_;
+}
+
+util::WideWord PatternSet::pattern(std::size_t p) const {
+  assert(p < num_patterns_);
+  util::WideWord w(num_inputs_);
+  for (std::size_t i = 0; i < num_inputs_; ++i) {
+    if (slices_[i].get(p)) w.set_bit(i, true);
+  }
+  return w;
+}
+
+PatternSet PatternSet::random(std::size_t num_inputs, std::size_t num_patterns,
+                              util::Rng& rng) {
+  PatternSet ps(num_inputs, num_patterns);
+  for (std::size_t p = 0; p < num_patterns; ++p) {
+    for (std::size_t i = 0; i < num_inputs; ++i) {
+      if (rng.next_bool()) ps.set(p, i, true);
+    }
+  }
+  return ps;
+}
+
+std::string PatternSet::pattern_string(std::size_t p) const {
+  std::string s(num_inputs_, '0');
+  for (std::size_t i = 0; i < num_inputs_; ++i) {
+    if (get(p, i)) s[i] = '1';
+  }
+  return s;
+}
+
+}  // namespace fbist::sim

@@ -1,0 +1,61 @@
+// Test patterns and pattern sets.
+//
+// A pattern assigns one bit per primary input.  PatternSet stores
+// patterns in *bit-sliced* (pattern-parallel) layout: for each PI, a
+// BitVector over pattern indices — exactly the layout the 64-way
+// parallel simulator consumes, so simulation needs no transposition.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/bitvector.h"
+#include "util/rng.h"
+#include "util/wideword.h"
+
+namespace fbist::sim {
+
+/// A set of test patterns over a fixed number of primary inputs.
+class PatternSet {
+ public:
+  PatternSet() = default;
+  PatternSet(std::size_t num_inputs, std::size_t num_patterns);
+
+  std::size_t num_inputs() const { return num_inputs_; }
+  std::size_t size() const { return num_patterns_; }
+  bool empty() const { return num_patterns_ == 0; }
+
+  bool get(std::size_t pattern, std::size_t input) const;
+  void set(std::size_t pattern, std::size_t input, bool value);
+
+  /// Appends one pattern given as a WideWord (bit i -> input i).
+  void append(const util::WideWord& pattern);
+  /// Appends one pattern given as bools.
+  void append(const std::vector<bool>& pattern);
+  /// Appends all patterns of `other` (same num_inputs).
+  void append_all(const PatternSet& other);
+
+  /// Pattern `p` as a WideWord.
+  util::WideWord pattern(std::size_t p) const;
+
+  /// The bit-slice for one input: bit j == value of input in pattern j.
+  const util::BitVector& slice(std::size_t input) const { return slices_[input]; }
+
+  /// Uniformly random pattern set.
+  static PatternSet random(std::size_t num_inputs, std::size_t num_patterns,
+                           util::Rng& rng);
+
+  /// "0101..."-style rendering of pattern `p` (input 0 first).
+  std::string pattern_string(std::size_t p) const;
+
+ private:
+  void ensure_capacity(std::size_t patterns);
+
+  std::size_t num_inputs_ = 0;
+  std::size_t num_patterns_ = 0;
+  std::size_t capacity_ = 0;
+  std::vector<util::BitVector> slices_;  // one per input, length capacity_
+};
+
+}  // namespace fbist::sim

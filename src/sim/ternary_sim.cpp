@@ -1,0 +1,124 @@
+#include "sim/ternary_sim.h"
+
+#include <stdexcept>
+
+namespace fbist::sim {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NetId;
+
+namespace {
+
+TernaryValue t_not(TernaryValue a) {
+  if (a == TernaryValue::kX) return TernaryValue::kX;
+  return a == TernaryValue::k0 ? TernaryValue::k1 : TernaryValue::k0;
+}
+
+TernaryValue t_and(TernaryValue a, TernaryValue b) {
+  if (a == TernaryValue::k0 || b == TernaryValue::k0) return TernaryValue::k0;
+  if (a == TernaryValue::k1 && b == TernaryValue::k1) return TernaryValue::k1;
+  return TernaryValue::kX;
+}
+
+TernaryValue t_or(TernaryValue a, TernaryValue b) {
+  if (a == TernaryValue::k1 || b == TernaryValue::k1) return TernaryValue::k1;
+  if (a == TernaryValue::k0 && b == TernaryValue::k0) return TernaryValue::k0;
+  return TernaryValue::kX;
+}
+
+TernaryValue t_xor(TernaryValue a, TernaryValue b) {
+  if (a == TernaryValue::kX || b == TernaryValue::kX) return TernaryValue::kX;
+  return a == b ? TernaryValue::k0 : TernaryValue::k1;
+}
+
+TernaryValue eval_ternary(GateType type, const std::vector<TernaryValue>& in) {
+  switch (type) {
+    case GateType::kInput:
+      throw std::logic_error("eval_ternary on primary input");
+    case GateType::kBuf:
+      return in[0];
+    case GateType::kNot:
+      return t_not(in[0]);
+    case GateType::kAnd:
+    case GateType::kNand: {
+      TernaryValue v = in[0];
+      for (std::size_t i = 1; i < in.size(); ++i) v = t_and(v, in[i]);
+      return type == GateType::kNand ? t_not(v) : v;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      TernaryValue v = in[0];
+      for (std::size_t i = 1; i < in.size(); ++i) v = t_or(v, in[i]);
+      return type == GateType::kNor ? t_not(v) : v;
+    }
+    case GateType::kXor:
+    case GateType::kXnor: {
+      TernaryValue v = in[0];
+      for (std::size_t i = 1; i < in.size(); ++i) v = t_xor(v, in[i]);
+      return type == GateType::kXnor ? t_not(v) : v;
+    }
+  }
+  return TernaryValue::kX;
+}
+
+std::vector<TernaryValue> simulate_impl(const Netlist& nl,
+                                        const atpg::TestCube& cube,
+                                        const fault::Fault* fault) {
+  if (cube.pattern.bits() != nl.num_inputs()) {
+    throw std::invalid_argument("ternary_simulate: cube width mismatch");
+  }
+  std::vector<TernaryValue> v(nl.num_nets(), TernaryValue::kX);
+  const auto& inputs = nl.inputs();
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (cube.care.get_bit(i)) {
+      v[inputs[i]] = cube.pattern.get_bit(i) ? TernaryValue::k1 : TernaryValue::k0;
+    }
+  }
+  if (fault != nullptr && nl.gate(fault->net).type == GateType::kInput) {
+    v[fault->net] = fault->stuck_value ? TernaryValue::k1 : TernaryValue::k0;
+  }
+  std::vector<TernaryValue> fanin_buf;
+  for (NetId id = 0; id < nl.num_nets(); ++id) {
+    const auto& g = nl.gate(id);
+    if (g.type != GateType::kInput) {
+      fanin_buf.resize(g.fanin.size());
+      for (std::size_t i = 0; i < g.fanin.size(); ++i) {
+        fanin_buf[i] = v[g.fanin[i]];
+      }
+      v[id] = eval_ternary(g.type, fanin_buf);
+    }
+    if (fault != nullptr && id == fault->net) {
+      v[id] = fault->stuck_value ? TernaryValue::k1 : TernaryValue::k0;
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+std::vector<TernaryValue> ternary_simulate(const Netlist& nl,
+                                           const atpg::TestCube& cube) {
+  return simulate_impl(nl, cube, nullptr);
+}
+
+std::vector<TernaryValue> ternary_simulate_faulty(const Netlist& nl,
+                                                  const atpg::TestCube& cube,
+                                                  const fault::Fault& fault) {
+  return simulate_impl(nl, cube, &fault);
+}
+
+bool cube_robustly_detects(const Netlist& nl, const atpg::TestCube& cube,
+                           const fault::Fault& fault) {
+  const auto good = ternary_simulate(nl, cube);
+  const auto bad = ternary_simulate_faulty(nl, cube, fault);
+  for (const NetId o : nl.outputs()) {
+    if (good[o] != TernaryValue::kX && bad[o] != TernaryValue::kX &&
+        good[o] != bad[o]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace fbist::sim

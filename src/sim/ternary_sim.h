@@ -1,0 +1,44 @@
+// Ternary (0/1/X) logic simulation.
+//
+// Validates *partially specified* patterns — PODEM cubes before X-fill.
+// A cube detects a fault robustly iff the ternary simulation of the
+// cube (unassigned inputs = X) yields a definite, differing value on
+// some output of the good vs faulty circuit; such a cube detects the
+// fault under **every** X-fill.  Used by the compaction tests and by
+// downstream users who keep cubes unfilled for ATE don't-care
+// exploitation.
+//
+// Encoding: two parallel bit-slices per net, (ones, knowns):
+//   value 0 -> ones=0, known=1;  value 1 -> ones=1, known=1;  X -> known=0.
+#pragma once
+
+#include <vector>
+
+#include "atpg/compaction.h"
+#include "fault/fault.h"
+#include "netlist/netlist.h"
+#include "util/wideword.h"
+
+namespace fbist::sim {
+
+/// Per-net ternary value.
+enum class TernaryValue : std::uint8_t { k0, k1, kX };
+
+/// Simulates the good circuit under a cube (unspecified inputs = X).
+/// Returns one TernaryValue per net.
+std::vector<TernaryValue> ternary_simulate(const netlist::Netlist& nl,
+                                           const atpg::TestCube& cube);
+
+/// Like ternary_simulate but with `fault` injected (the fault net is
+/// forced to its stuck value — a *known* value in the faulty machine).
+std::vector<TernaryValue> ternary_simulate_faulty(const netlist::Netlist& nl,
+                                                  const atpg::TestCube& cube,
+                                                  const fault::Fault& fault);
+
+/// True iff the cube detects the fault under every completion of its
+/// X bits: some primary output is definite in both machines and differs.
+bool cube_robustly_detects(const netlist::Netlist& nl,
+                           const atpg::TestCube& cube,
+                           const fault::Fault& fault);
+
+}  // namespace fbist::sim

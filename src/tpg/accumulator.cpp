@@ -1,0 +1,32 @@
+#include "tpg/accumulator.h"
+
+namespace fbist::tpg {
+
+util::WideWord AdderTpg::step(const util::WideWord& state,
+                              const util::WideWord& sigma) const {
+  util::WideWord next = state;
+  next.add(sigma);
+  return next;
+}
+
+util::WideWord SubtracterTpg::step(const util::WideWord& state,
+                                   const util::WideWord& sigma) const {
+  util::WideWord next = state;
+  next.sub(sigma);
+  return next;
+}
+
+util::WideWord MultiplierTpg::step(const util::WideWord& state,
+                                   const util::WideWord& sigma) const {
+  util::WideWord next = state;
+  next.mul(sigma);
+  return next;
+}
+
+util::WideWord MultiplierTpg::legalize_sigma(const util::WideWord& sigma) const {
+  util::WideWord s = sigma;
+  s.make_odd();
+  return s;
+}
+
+}  // namespace fbist::tpg

@@ -1,0 +1,69 @@
+#include "tpg/multipoly_lfsr.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fbist::tpg {
+
+namespace {
+
+std::size_t bits_for(std::size_t k) {
+  std::size_t b = 0;
+  while ((std::size_t{1} << b) < k) ++b;
+  return b;
+}
+
+}  // namespace
+
+MultiPolyLfsrTpg::MultiPolyLfsrTpg(std::size_t width,
+                                   std::vector<std::vector<std::size_t>> polys)
+    : width_(width), polys_(std::move(polys)) {
+  if (width_ == 0) throw std::invalid_argument("MultiPolyLfsrTpg: zero width");
+  if (polys_.empty()) {
+    // Default bank: four structurally distinct tap sets.  Tap indices
+    // are clamped to the width and deduplicated.
+    const std::vector<std::vector<std::size_t>> bank = {
+        {0, 1},
+        {0, 2, 3},
+        {0, 1, 3, 4},
+        {0, width_ / 2, width_ - 1},
+    };
+    polys_ = bank;
+  }
+  for (auto& taps : polys_) {
+    for (auto& t : taps) t = std::min(t, width_ - 1);
+    std::sort(taps.begin(), taps.end());
+    taps.erase(std::unique(taps.begin(), taps.end()), taps.end());
+    if (taps.empty()) throw std::invalid_argument("MultiPolyLfsrTpg: empty tap set");
+  }
+  selector_bits_ = bits_for(polys_.size());
+  if (selector_bits_ >= width_) {
+    throw std::invalid_argument("MultiPolyLfsrTpg: too many polynomials for width");
+  }
+}
+
+std::size_t MultiPolyLfsrTpg::selected_polynomial(const util::WideWord& sigma) const {
+  std::size_t sel = 0;
+  for (std::size_t b = 0; b < selector_bits_; ++b) {
+    if (sigma.get_bit(b)) sel |= std::size_t{1} << b;
+  }
+  return sel % polys_.size();
+}
+
+util::WideWord MultiPolyLfsrTpg::step(const util::WideWord& state,
+                                      const util::WideWord& sigma) const {
+  const auto& taps = polys_[selected_polynomial(sigma)];
+  bool feedback = false;
+  for (const std::size_t t : taps) feedback ^= state.get_bit(t);
+  util::WideWord next = state;
+  next.shl1(feedback);
+  // The non-selector part of sigma perturbs the state additively; the
+  // selector bits are masked out so polynomial choice does not also
+  // inject data.
+  util::WideWord inject = sigma;
+  for (std::size_t b = 0; b < selector_bits_; ++b) inject.set_bit(b, false);
+  next.bxor(inject);
+  return next;
+}
+
+}  // namespace fbist::tpg

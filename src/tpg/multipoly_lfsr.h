@@ -1,0 +1,46 @@
+// Multiple-polynomial LFSR TPG (extension).
+//
+// The reseeding literature the paper builds on ([3] Hellebrand et al.,
+// "Generation of Vector Patterns Through Reseeding of Multiple-
+// Polynomial Linear Feedback Shift Registers") stores, per seed, a few
+// extra bits that select one of k feedback polynomials, greatly
+// improving the encoding efficiency of deterministic seeds.  This TPG
+// models that scheme within the triplet interface: the low
+// ceil(log2(k)) bits of sigma select the polynomial, the remaining
+// sigma bits are XORed into the state every clock (0 = autonomous run).
+//
+// Included to demonstrate the paper's claim of TPG-agnosticism: the
+// identical set-covering flow optimizes multi-polynomial LFSR reseeding
+// with no changes.
+#pragma once
+
+#include <vector>
+
+#include "tpg/tpg.h"
+
+namespace fbist::tpg {
+
+class MultiPolyLfsrTpg final : public Tpg {
+ public:
+  /// `polys` is a list of tap sets (each as in LfsrTpg).  When empty, a
+  /// default bank of 4 distinct tap sets is generated for the width.
+  MultiPolyLfsrTpg(std::size_t width, std::vector<std::vector<std::size_t>> polys = {});
+
+  std::size_t width() const override { return width_; }
+  util::WideWord step(const util::WideWord& state,
+                      const util::WideWord& sigma) const override;
+  std::string name() const override { return "mp-lfsr"; }
+
+  std::size_t num_polynomials() const { return polys_.size(); }
+  /// Number of low sigma bits used as the polynomial selector.
+  std::size_t selector_bits() const { return selector_bits_; }
+  /// Which polynomial a given sigma selects.
+  std::size_t selected_polynomial(const util::WideWord& sigma) const;
+
+ private:
+  std::size_t width_;
+  std::size_t selector_bits_;
+  std::vector<std::vector<std::size_t>> polys_;
+};
+
+}  // namespace fbist::tpg

@@ -1,0 +1,31 @@
+#include "tpg/tpg.h"
+
+#include <stdexcept>
+
+#include "tpg/accumulator.h"
+#include "tpg/lfsr.h"
+
+namespace fbist::tpg {
+
+const char* tpg_kind_name(TpgKind k) {
+  switch (k) {
+    case TpgKind::kAdder: return "adder";
+    case TpgKind::kSubtracter: return "subtracter";
+    case TpgKind::kMultiplier: return "multiplier";
+    case TpgKind::kLfsr: return "lfsr";
+  }
+  return "?";
+}
+
+std::unique_ptr<Tpg> make_tpg(TpgKind kind, std::size_t width) {
+  if (width == 0) throw std::invalid_argument("make_tpg: zero width");
+  switch (kind) {
+    case TpgKind::kAdder: return std::make_unique<AdderTpg>(width);
+    case TpgKind::kSubtracter: return std::make_unique<SubtracterTpg>(width);
+    case TpgKind::kMultiplier: return std::make_unique<MultiplierTpg>(width);
+    case TpgKind::kLfsr: return std::make_unique<LfsrTpg>(width);
+  }
+  throw std::invalid_argument("make_tpg: unknown kind");
+}
+
+}  // namespace fbist::tpg

@@ -1,0 +1,50 @@
+// Test Pattern Generator (TPG) abstraction.
+//
+// In the Functional BIST scheme the TPG is an existing system module —
+// typically an accumulator wrapped around an adder, subtracter or
+// multiplier — reused for testing.  The behavioural contract the
+// reseeding flow needs is minimal: an n-bit state register, an n-bit
+// held input operand sigma, and a deterministic step function
+// state <- f(state, sigma) applied once per clock.  Patterns observed at
+// the TPG outputs are the successive state values.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "util/wideword.h"
+
+namespace fbist::tpg {
+
+class Tpg {
+ public:
+  virtual ~Tpg() = default;
+
+  /// State/operand/pattern width in bits.
+  virtual std::size_t width() const = 0;
+
+  /// One clock: returns f(state, sigma).
+  virtual util::WideWord step(const util::WideWord& state,
+                              const util::WideWord& sigma) const = 0;
+
+  /// Canonicalises a caller-chosen sigma into one this TPG accepts
+  /// (e.g. the multiplier accumulator forces sigma odd so stepping stays
+  /// a bijection).  Default: identity.
+  virtual util::WideWord legalize_sigma(const util::WideWord& sigma) const {
+    return sigma;
+  }
+
+  /// Short display name: "adder", "multiplier", ...
+  virtual std::string name() const = 0;
+};
+
+/// TPG kinds evaluated in the paper (plus the LFSR extension).
+enum class TpgKind { kAdder, kSubtracter, kMultiplier, kLfsr };
+
+const char* tpg_kind_name(TpgKind k);
+
+/// Factory: builds a TPG of `kind` with the given pattern width.
+std::unique_ptr<Tpg> make_tpg(TpgKind kind, std::size_t width);
+
+}  // namespace fbist::tpg

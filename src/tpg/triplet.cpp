@@ -1,0 +1,41 @@
+#include "tpg/triplet.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace fbist::tpg {
+
+std::string Triplet::to_string() const {
+  std::ostringstream ss;
+  ss << "(delta=0x" << delta.to_hex() << ", sigma=0x" << sigma.to_hex()
+     << ", T=" << cycles << ")";
+  return ss.str();
+}
+
+sim::PatternSet expand_triplet_prefix(const Tpg& tpg, const Triplet& t,
+                                      std::size_t prefix) {
+  const std::size_t n = std::min(prefix, t.cycles);
+  sim::PatternSet ps(tpg.width(), 0);
+  if (n == 0) return ps;
+  const util::WideWord sigma = tpg.legalize_sigma(t.sigma);
+  util::WideWord state = t.delta;
+  for (std::size_t i = 0; i < n; ++i) {
+    ps.append(state);
+    if (i + 1 < n) state = tpg.step(state, sigma);
+  }
+  return ps;
+}
+
+sim::PatternSet expand_triplet(const Tpg& tpg, const Triplet& t) {
+  return expand_triplet_prefix(tpg, t, t.cycles);
+}
+
+sim::PatternSet expand_all(const Tpg& tpg, const std::vector<Triplet>& ts) {
+  sim::PatternSet all(tpg.width(), 0);
+  for (const auto& t : ts) {
+    all.append_all(expand_triplet(tpg, t));
+  }
+  return all;
+}
+
+}  // namespace fbist::tpg

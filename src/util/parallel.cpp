@@ -1,0 +1,45 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace fbist::util {
+
+std::size_t parallel_workers() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  parallel_for_workers(n, [&fn](std::size_t i, std::size_t) { fn(i); });
+}
+
+void parallel_for_workers(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  const std::size_t workers = parallel_workers();
+  if (n == 0) return;
+  if (workers == 1 || n < 32) {
+    for (std::size_t i = 0; i < n; ++i) fn(i, 0);
+    return;
+  }
+  // Dynamic chunking: workers grab blocks of iterations from a shared
+  // counter so uneven per-item cost (fault cones differ wildly) balances.
+  std::atomic<std::size_t> next{0};
+  const std::size_t chunk = std::max<std::size_t>(1, n / (workers * 8));
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      while (true) {
+        const std::size_t begin = next.fetch_add(chunk);
+        if (begin >= n) break;
+        const std::size_t end = std::min(n, begin + chunk);
+        for (std::size_t i = begin; i < end; ++i) fn(i, w);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+}
+
+}  // namespace fbist::util

@@ -1,0 +1,26 @@
+// Minimal data-parallel loop used by the fault simulator.
+//
+// The detection-matrix construction fault-simulates every candidate
+// triplet against every fault; the work items are embarrassingly
+// parallel, so a simple static-chunk thread pool suffices.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace fbist::util {
+
+/// Number of worker threads parallel_for will use (>= 1).
+std::size_t parallel_workers();
+
+/// Calls fn(i) for i in [0, n), distributing chunks across threads.
+/// fn must be safe to call concurrently for distinct i.
+/// Falls back to a serial loop when n is small or one core is available.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+/// Like parallel_for but hands each worker its thread index as well:
+/// fn(i, worker) — lets callers keep per-worker scratch buffers.
+void parallel_for_workers(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn);
+
+}  // namespace fbist::util

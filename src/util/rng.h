@@ -1,0 +1,40 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// Every stochastic choice in the library (random ATPG patterns, random
+// seeds sigma, GA mutations) flows from an explicitly seeded Rng so that
+// experiments are exactly reproducible run-to-run and machine-to-machine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fbist::util {
+
+/// xoshiro256** generator.  Not thread-safe; use one stream per thread.
+class Rng {
+ public:
+  /// Seeds from a 64-bit value via splitmix64 expansion.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+  /// Seeds from a string (e.g. a circuit name) so each experiment has a
+  /// stable, independent stream.
+  static Rng from_string(const std::string& name, std::uint64_t salt = 0);
+
+  std::uint64_t next_u64();
+  /// Uniform in [0, bound).  bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+  /// Uniform double in [0, 1).
+  double next_double();
+  /// Bernoulli(p).
+  bool next_bool(double p = 0.5);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// splitmix64 step — also useful as a cheap string/int mixer.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// FNV-1a 64-bit hash of a string.
+std::uint64_t hash_string(const std::string& s);
+
+}  // namespace fbist::util

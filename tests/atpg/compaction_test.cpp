@@ -1,0 +1,132 @@
+#include "atpg/compaction.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace fbist::atpg {
+namespace {
+
+TestCube cube(std::size_t width, std::uint64_t pattern, std::uint64_t care) {
+  TestCube c;
+  c.pattern = util::WideWord(width, pattern & care);
+  c.care = util::WideWord(width, care);
+  return c;
+}
+
+TEST(TestCube, CompatibilityRules) {
+  // Agree on shared care bits -> compatible.
+  EXPECT_TRUE(cube(8, 0b0001, 0b0011).compatible_with(cube(8, 0b0101, 0b0101)));
+  // Conflict at bit 0 -> incompatible.
+  EXPECT_FALSE(cube(8, 0b0000, 0b0001).compatible_with(cube(8, 0b0001, 0b0001)));
+  // Disjoint care sets -> always compatible.
+  EXPECT_TRUE(cube(8, 0b0011, 0b0011).compatible_with(cube(8, 0b1100, 0b1100)));
+  // Width mismatch -> incompatible.
+  EXPECT_FALSE(cube(8, 0, 1).compatible_with(cube(9, 0, 1)));
+}
+
+TEST(TestCube, MergeUnionsCare) {
+  TestCube a = cube(8, 0b0001, 0b0011);
+  const TestCube b = cube(8, 0b0100, 0b0100);
+  a.merge(b);
+  EXPECT_EQ(a.care, util::WideWord(8, 0b0111));
+  EXPECT_EQ(a.pattern, util::WideWord(8, 0b0101));
+}
+
+TEST(TestCube, MergeIncompatibleThrows) {
+  TestCube a = cube(8, 0b0, 0b1);
+  EXPECT_THROW(a.merge(cube(8, 0b1, 0b1)), std::invalid_argument);
+}
+
+TEST(TestCube, MergePreservesExistingValues) {
+  TestCube a = cube(8, 0b10, 0b10);
+  a.merge(cube(8, 0b10, 0b11));  // bit 0 specified as 0 by b
+  EXPECT_EQ(a.pattern, util::WideWord(8, 0b10));
+  EXPECT_EQ(a.care, util::WideWord(8, 0b11));
+}
+
+TEST(Compaction, DisjointCubesAllMergeIntoOne) {
+  std::vector<TestCube> cubes;
+  for (int i = 0; i < 8; ++i) {
+    cubes.push_back(cube(8, (i % 2) << i, 1u << i));
+  }
+  const auto merged = compact_cubes(cubes);
+  EXPECT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].care_count(), 8u);
+}
+
+TEST(Compaction, ConflictingCubesStaySeparate) {
+  std::vector<TestCube> cubes = {
+      cube(4, 0b0001, 0b0001),
+      cube(4, 0b0000, 0b0001),  // conflicts with the first at bit 0
+  };
+  const auto merged = compact_cubes(cubes);
+  EXPECT_EQ(merged.size(), 2u);
+}
+
+TEST(Compaction, NeverGrowsAndPreservesCareBits) {
+  util::Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t width = 8 + rng.next_below(40);
+    std::vector<TestCube> cubes;
+    const std::size_t n = 5 + rng.next_below(30);
+    for (std::size_t i = 0; i < n; ++i) {
+      TestCube c;
+      c.care = util::WideWord(width);
+      c.pattern = util::WideWord(width);
+      for (std::size_t b = 0; b < width; ++b) {
+        if (rng.next_bool(0.25)) {
+          c.care.set_bit(b, true);
+          c.pattern.set_bit(b, rng.next_bool());
+        }
+      }
+      cubes.push_back(std::move(c));
+    }
+    const std::size_t before_bits = total_care_bits(cubes);
+    const auto merged = compact_cubes(cubes);
+    EXPECT_LE(merged.size(), cubes.size());
+    // Merging never invents or loses care bits... it can only overlap
+    // *identical* specified values, so total care bits can shrink only
+    // by the overlap amount; every original cube must be covered by
+    // some merged cube.
+    for (const auto& orig : cubes) {
+      bool contained = false;
+      for (const auto& m : merged) {
+        // orig ⊆ m: m cares about all of orig's bits with equal values.
+        util::WideWord shared = orig.care;
+        shared.band(m.care);
+        if (!(shared == orig.care)) continue;
+        util::WideWord diff = orig.pattern;
+        diff.bxor(m.pattern);
+        diff.band(orig.care);
+        if (diff.is_zero()) {
+          contained = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(contained) << "trial " << trial;
+    }
+    EXPECT_LE(total_care_bits(merged), before_bits);
+  }
+}
+
+TEST(Compaction, EmptyInputEmptyOutput) {
+  EXPECT_TRUE(compact_cubes({}).empty());
+}
+
+TEST(Compaction, MostSpecifiedSeedsFirst) {
+  // A fully specified cube and two small compatible ones: the big cube
+  // seeds the accumulator, smaller cubes merge into it.
+  std::vector<TestCube> cubes = {
+      cube(4, 0b0001, 0b0001),
+      cube(4, 0b1010, 0b1111),
+      cube(4, 0b0010, 0b0010),
+  };
+  // 0b0001/0b0001 conflicts with 0b1010/0b1111 at bit 0 (1 vs 0).
+  // 0b0010/0b0010 agrees with it.
+  const auto merged = compact_cubes(cubes);
+  EXPECT_EQ(merged.size(), 2u);
+}
+
+}  // namespace
+}  // namespace fbist::atpg

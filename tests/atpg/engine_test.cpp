@@ -1,0 +1,121 @@
+#include "atpg/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "circuits/generator.h"
+#include "circuits/registry.h"
+
+namespace fbist::atpg {
+namespace {
+
+TEST(AtpgEngine, FullCoverageOnC17) {
+  const auto nl = circuits::make_c17();
+  const auto fl = fault::FaultList::full(nl);
+  const AtpgResult r = run_atpg(nl, fl);
+  EXPECT_EQ(r.redundant_faults, 0u);  // c17 is fully testable
+  EXPECT_DOUBLE_EQ(r.testable_coverage_percent(), 100.0);
+  EXPECT_GT(r.patterns.size(), 0u);
+}
+
+TEST(AtpgEngine, PatternsActuallyCoverClaimedFaults) {
+  const auto nl = circuits::make_c17();
+  const auto fl = fault::FaultList::full(nl);
+  const AtpgResult r = run_atpg(nl, fl);
+  sim::FaultSim fsim(nl, fl);
+  const sim::FaultSimResult check = fsim.run(r.patterns);
+  for (std::size_t fid = 0; fid < fl.size(); ++fid) {
+    if (r.verdict[fid] == FaultVerdict::kDetected) {
+      EXPECT_TRUE(check.detected.get(fid)) << fault_name(nl, fl[fid]);
+    }
+  }
+}
+
+TEST(AtpgEngine, CompactionPreservesCoverage) {
+  circuits::GeneratorSpec spec;
+  spec.num_inputs = 12;
+  spec.num_outputs = 6;
+  spec.num_gates = 100;
+  spec.seed = 17;
+  const auto nl = circuits::generate(spec);
+  const auto fl = fault::FaultList::collapsed(nl);
+
+  AtpgOptions with, without;
+  with.compact = true;
+  without.compact = false;
+  const AtpgResult a = run_atpg(nl, fl, with);
+  const AtpgResult b = run_atpg(nl, fl, without);
+
+  // Identical verdicts (same seed -> same phases), compaction only
+  // shrinks the pattern list.
+  EXPECT_EQ(a.verdict, b.verdict);
+  EXPECT_LE(a.patterns.size(), b.patterns.size());
+
+  sim::FaultSim fsim(nl, fl);
+  const auto check = fsim.run(a.patterns);
+  for (std::size_t fid = 0; fid < fl.size(); ++fid) {
+    if (a.verdict[fid] == FaultVerdict::kDetected) {
+      EXPECT_TRUE(check.detected.get(fid));
+    }
+  }
+}
+
+TEST(AtpgEngine, DeterministicForSameSeed) {
+  const auto nl = circuits::make_circuit("c432");
+  const auto fl = fault::FaultList::collapsed(nl);
+  AtpgOptions opts;
+  opts.seed = 5;
+  const AtpgResult a = run_atpg(nl, fl, opts);
+  const AtpgResult b = run_atpg(nl, fl, opts);
+  EXPECT_EQ(a.patterns.size(), b.patterns.size());
+  EXPECT_EQ(a.verdict, b.verdict);
+  for (std::size_t p = 0; p < a.patterns.size(); ++p) {
+    EXPECT_EQ(a.patterns.pattern(p), b.patterns.pattern(p));
+  }
+}
+
+TEST(AtpgEngine, HighCoverageOnRegistryCircuit) {
+  const auto nl = circuits::make_circuit("s820");
+  const auto fl = fault::FaultList::collapsed(nl);
+  const AtpgResult r = run_atpg(nl, fl);
+  EXPECT_GT(r.testable_coverage_percent(), 95.0);
+  // A compacted deterministic set should be far smaller than the fault
+  // count.
+  EXPECT_LT(r.patterns.size(), fl.size());
+}
+
+TEST(AtpgEngine, StaticCompactionKeepsCoverage) {
+  circuits::GeneratorSpec spec;
+  spec.num_inputs = 14;
+  spec.num_outputs = 7;
+  spec.num_gates = 150;
+  spec.xor_share = 0.3;
+  spec.seed = 23;
+  const auto nl = circuits::generate(spec);
+  const auto fl = fault::FaultList::collapsed(nl);
+
+  AtpgOptions plain, cubes;
+  cubes.static_cube_compaction = true;
+  const AtpgResult a = run_atpg(nl, fl, plain);
+  const AtpgResult b = run_atpg(nl, fl, cubes);
+
+  // Same coverage of testable faults, both verified by simulation.
+  EXPECT_DOUBLE_EQ(a.testable_coverage_percent(),
+                   b.testable_coverage_percent());
+  sim::FaultSim fsim(nl, fl);
+  const auto check = fsim.run(b.patterns);
+  for (std::size_t f = 0; f < fl.size(); ++f) {
+    if (b.verdict[f] == FaultVerdict::kDetected) {
+      EXPECT_TRUE(check.detected.get(f)) << fault_name(nl, fl[f]);
+    }
+  }
+}
+
+TEST(AtpgEngine, ReportsPhaseStatistics) {
+  const auto nl = circuits::make_circuit("c432");
+  const auto fl = fault::FaultList::collapsed(nl);
+  const AtpgResult r = run_atpg(nl, fl);
+  EXPECT_GT(r.random_patterns_used + r.deterministic_patterns, 0u);
+}
+
+}  // namespace
+}  // namespace fbist::atpg

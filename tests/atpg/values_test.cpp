@@ -1,0 +1,91 @@
+#include "atpg/values.h"
+
+#include <gtest/gtest.h>
+
+namespace fbist::atpg {
+namespace {
+
+using netlist::GateType;
+
+TEST(Tern, NotTable) {
+  EXPECT_EQ(tern_not(Tern::k0), Tern::k1);
+  EXPECT_EQ(tern_not(Tern::k1), Tern::k0);
+  EXPECT_EQ(tern_not(Tern::kX), Tern::kX);
+}
+
+TEST(Tern, AndTable) {
+  EXPECT_EQ(tern_and(Tern::k0, Tern::kX), Tern::k0);
+  EXPECT_EQ(tern_and(Tern::kX, Tern::k0), Tern::k0);
+  EXPECT_EQ(tern_and(Tern::k1, Tern::k1), Tern::k1);
+  EXPECT_EQ(tern_and(Tern::k1, Tern::kX), Tern::kX);
+  EXPECT_EQ(tern_and(Tern::kX, Tern::kX), Tern::kX);
+}
+
+TEST(Tern, OrTable) {
+  EXPECT_EQ(tern_or(Tern::k1, Tern::kX), Tern::k1);
+  EXPECT_EQ(tern_or(Tern::k0, Tern::k0), Tern::k0);
+  EXPECT_EQ(tern_or(Tern::k0, Tern::kX), Tern::kX);
+}
+
+TEST(Tern, XorTable) {
+  EXPECT_EQ(tern_xor(Tern::k0, Tern::k1), Tern::k1);
+  EXPECT_EQ(tern_xor(Tern::k1, Tern::k1), Tern::k0);
+  EXPECT_EQ(tern_xor(Tern::kX, Tern::k1), Tern::kX);
+}
+
+TEST(Val5, Classification) {
+  EXPECT_TRUE(kVX.is_x());
+  EXPECT_FALSE(kV0.is_x());
+  EXPECT_TRUE(kVD.is_d_or_dbar());
+  EXPECT_TRUE(kVDbar.is_d_or_dbar());
+  EXPECT_FALSE(kV1.is_d_or_dbar());
+  EXPECT_TRUE(kV0.is_definite_equal());
+  EXPECT_FALSE(kVD.is_definite_equal());
+}
+
+TEST(Val5, DPropagationThroughAnd) {
+  // D AND 1 = D; D AND 0 = 0; D AND X = X-ish (good side X?)
+  Val5 in1[2] = {kVD, kV1};
+  EXPECT_EQ(eval_gate5(GateType::kAnd, in1, 2), kVD);
+  Val5 in2[2] = {kVD, kV0};
+  EXPECT_EQ(eval_gate5(GateType::kAnd, in2, 2), kV0);
+}
+
+TEST(Val5, DPropagationThroughNand) {
+  Val5 in[2] = {kVD, kV1};
+  EXPECT_EQ(eval_gate5(GateType::kNand, in, 2), kVDbar);
+}
+
+TEST(Val5, DDbarCancellation) {
+  // D AND D' = (1&0, 0&1) = (0,0) = 0.
+  Val5 in[2] = {kVD, kVDbar};
+  EXPECT_EQ(eval_gate5(GateType::kAnd, in, 2), kV0);
+  // D XOR D = (0,0)=0; D XOR D' = (1^0=1, 0^1=1) = 1.
+  Val5 x1[2] = {kVD, kVD};
+  EXPECT_EQ(eval_gate5(GateType::kXor, x1, 2), kV0);
+  Val5 x2[2] = {kVD, kVDbar};
+  EXPECT_EQ(eval_gate5(GateType::kXor, x2, 2), kV1);
+}
+
+TEST(Val5, XAbsorption) {
+  Val5 in[2] = {kVX, kV0};
+  EXPECT_EQ(eval_gate5(GateType::kAnd, in, 2), kV0);
+  EXPECT_EQ(eval_gate5(GateType::kOr, in, 2), kVX);
+}
+
+TEST(Val5, NotOnD) {
+  Val5 in[1] = {kVD};
+  EXPECT_EQ(eval_gate5(GateType::kNot, in, 1), kVDbar);
+}
+
+TEST(Val5, Names) {
+  EXPECT_EQ(val5_name(kV0), "0");
+  EXPECT_EQ(val5_name(kV1), "1");
+  EXPECT_EQ(val5_name(kVX), "X");
+  EXPECT_EQ(val5_name(kVD), "D");
+  EXPECT_EQ(val5_name(kVDbar), "D'");
+  EXPECT_EQ(val5_name(Val5{Tern::k1, Tern::kX}), "1/X");
+}
+
+}  // namespace
+}  // namespace fbist::atpg

@@ -1,0 +1,70 @@
+#include "cover/detection_matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace fbist::cover {
+namespace {
+
+TEST(DetectionMatrix, ConstructionAndBits) {
+  DetectionMatrix m(3, 5);
+  EXPECT_EQ(m.num_rows(), 3u);
+  EXPECT_EQ(m.num_cols(), 5u);
+  EXPECT_FALSE(m.get(1, 2));
+  m.set(1, 2);
+  EXPECT_TRUE(m.get(1, 2));
+  m.set(1, 2, false);
+  EXPECT_FALSE(m.get(1, 2));
+}
+
+TEST(DetectionMatrix, SetRowValidatesWidth) {
+  DetectionMatrix m(2, 4);
+  EXPECT_THROW(m.set_row(0, util::BitVector(3)), std::invalid_argument);
+  util::BitVector row(4);
+  row.set(0);
+  row.set(3);
+  m.set_row(0, row);
+  EXPECT_TRUE(m.get(0, 0));
+  EXPECT_TRUE(m.get(0, 3));
+}
+
+TEST(DetectionMatrix, CoverableUnion) {
+  DetectionMatrix m(2, 4);
+  m.set(0, 0);
+  m.set(1, 2);
+  const auto u = m.coverable();
+  EXPECT_TRUE(u.get(0));
+  EXPECT_FALSE(u.get(1));
+  EXPECT_TRUE(u.get(2));
+  EXPECT_FALSE(m.all_columns_coverable());
+  m.set(0, 1);
+  m.set(1, 3);
+  EXPECT_TRUE(m.all_columns_coverable());
+}
+
+TEST(DetectionMatrix, Density) {
+  DetectionMatrix m(2, 3);
+  EXPECT_EQ(m.density(), 0u);
+  m.set(0, 0);
+  m.set(1, 1);
+  m.set(1, 2);
+  EXPECT_EQ(m.density(), 3u);
+}
+
+TEST(DetectionMatrix, EarliestPayload) {
+  DetectionMatrix m(2, 2);
+  EXPECT_FALSE(m.has_earliest());
+  std::vector<std::vector<std::uint32_t>> e = {{5, 10}, {0, 7}};
+  m.attach_earliest(e);
+  EXPECT_TRUE(m.has_earliest());
+  EXPECT_EQ(m.earliest(0, 1), 10u);
+  EXPECT_EQ(m.earliest(1, 0), 0u);
+}
+
+TEST(DetectionMatrix, EarliestValidatesShape) {
+  DetectionMatrix m(2, 2);
+  EXPECT_THROW(m.attach_earliest({{1, 2}}), std::invalid_argument);
+  EXPECT_THROW(m.attach_earliest({{1}, {2}}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fbist::cover

@@ -1,0 +1,125 @@
+#include "cover/exact.h"
+
+#include <gtest/gtest.h>
+
+#include "cover/greedy.h"
+#include "util/rng.h"
+
+namespace fbist::cover {
+namespace {
+
+DetectionMatrix random_coverable(util::Rng& rng, std::size_t R, std::size_t C,
+                                 double density) {
+  DetectionMatrix m(R, C);
+  for (std::size_t r = 0; r < R; ++r) {
+    for (std::size_t c = 0; c < C; ++c) {
+      if (rng.next_bool(density)) m.set(r, c);
+    }
+  }
+  for (std::size_t c = 0; c < C; ++c) m.set(rng.next_below(R), c);
+  return m;
+}
+
+/// Exhaustive minimum cover by subset enumeration (R <= 20).
+std::size_t brute_force_optimum(const DetectionMatrix& m) {
+  const std::size_t R = m.num_rows();
+  std::size_t best = R + 1;
+  for (std::uint32_t mask = 1; mask < (1u << R); ++mask) {
+    const std::size_t k = static_cast<std::size_t>(__builtin_popcount(mask));
+    if (k >= best) continue;
+    util::BitVector covered(m.num_cols());
+    for (std::size_t r = 0; r < R; ++r) {
+      if (mask & (1u << r)) covered |= m.row(r);
+    }
+    if (covered.count() == m.num_cols()) best = k;
+  }
+  return best;
+}
+
+TEST(Exact, EmptyMatrixTrivial) {
+  DetectionMatrix m(0, 0);
+  const CoverSolution s = solve_exact(m);
+  EXPECT_TRUE(s.rows.empty());
+  EXPECT_TRUE(s.feasible);
+  EXPECT_TRUE(s.proven_optimal);
+}
+
+TEST(Exact, SingleRowCover) {
+  DetectionMatrix m(3, 4);
+  for (std::size_t c = 0; c < 4; ++c) m.set(1, c);
+  m.set(0, 0);
+  m.set(2, 3);
+  const CoverSolution s = solve_exact(m);
+  ASSERT_EQ(s.rows.size(), 1u);
+  EXPECT_EQ(s.rows[0], 1u);
+  EXPECT_TRUE(s.proven_optimal);
+}
+
+TEST(Exact, BeatsGreedyOnAdversarialInstance) {
+  // Classic instance where greedy is suboptimal: columns 0..5; a "big"
+  // row covering 4 columns lures greedy, but two rows of 3 columns each
+  // cover everything.
+  DetectionMatrix m(3, 6);
+  for (const std::size_t c : {0u, 1u, 2u}) m.set(0, c);
+  for (const std::size_t c : {3u, 4u, 5u}) m.set(1, c);
+  for (const std::size_t c : {1u, 2u, 3u, 4u}) m.set(2, c);
+  const CoverSolution exact = solve_exact(m);
+  EXPECT_EQ(exact.rows.size(), 2u);
+  EXPECT_TRUE(exact.proven_optimal);
+  EXPECT_TRUE(exact.feasible);
+}
+
+TEST(Exact, MatchesBruteForceOnRandomInstances) {
+  util::Rng rng(101);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t R = 3 + rng.next_below(9);   // <= 11 rows
+    const std::size_t C = 3 + rng.next_below(10);
+    const auto m = random_coverable(rng, R, C, 0.3);
+    const CoverSolution s = solve_exact(m);
+    EXPECT_TRUE(s.feasible);
+    EXPECT_TRUE(s.proven_optimal);
+    EXPECT_EQ(s.rows.size(), brute_force_optimum(m)) << "trial " << trial;
+  }
+}
+
+TEST(Exact, NeverWorseThanGreedy) {
+  util::Rng rng(202);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto m = random_coverable(rng, 12, 20, 0.25);
+    const CoverSolution ex = solve_exact(m);
+    const CoverSolution gr = solve_greedy(m);
+    EXPECT_LE(ex.rows.size(), gr.rows.size()) << "trial " << trial;
+  }
+}
+
+TEST(Exact, NodeBudgetFallsBackToIncumbent) {
+  util::Rng rng(303);
+  const auto m = random_coverable(rng, 18, 30, 0.2);
+  ExactOptions opts;
+  opts.node_budget = 1;  // forces immediate exhaustion
+  const CoverSolution s = solve_exact(m, opts);
+  EXPECT_TRUE(s.feasible);           // greedy incumbent remains feasible
+  EXPECT_FALSE(s.proven_optimal);    // but not proven optimal
+}
+
+TEST(Exact, ReportsNodeCount) {
+  util::Rng rng(404);
+  const auto m = random_coverable(rng, 10, 15, 0.3);
+  const CoverSolution s = solve_exact(m);
+  EXPECT_GT(s.nodes, 0u);
+}
+
+TEST(Exact, CyclicCoreSolvedOptimally) {
+  // 6-cycle: minimum cover is 3 alternating rows.
+  DetectionMatrix m(6, 6);
+  for (std::size_t i = 0; i < 6; ++i) {
+    m.set(i, i);
+    m.set(i, (i + 1) % 6);
+  }
+  const CoverSolution s = solve_exact(m);
+  EXPECT_EQ(s.rows.size(), 3u);
+  EXPECT_TRUE(s.proven_optimal);
+}
+
+}  // namespace
+}  // namespace fbist::cover

@@ -1,0 +1,109 @@
+#include "cover/greedy.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace fbist::cover {
+namespace {
+
+DetectionMatrix from_rows(std::initializer_list<std::initializer_list<int>> rows) {
+  const std::size_t R = rows.size();
+  const std::size_t C = rows.begin()->size();
+  DetectionMatrix m(R, C);
+  std::size_t r = 0;
+  for (const auto& row : rows) {
+    std::size_t c = 0;
+    for (const int v : row) {
+      if (v) m.set(r, c);
+      ++c;
+    }
+    ++r;
+  }
+  return m;
+}
+
+TEST(Greedy, PicksSingleCoveringRow) {
+  const auto m = from_rows({
+      {1, 1, 1},
+      {1, 0, 0},
+  });
+  const CoverSolution s = solve_greedy(m);
+  ASSERT_EQ(s.rows.size(), 1u);
+  EXPECT_EQ(s.rows[0], 0u);
+  EXPECT_TRUE(s.feasible);
+  EXPECT_TRUE(s.proven_optimal);
+}
+
+TEST(Greedy, CoversDisjointColumns) {
+  const auto m = from_rows({
+      {1, 1, 0, 0},
+      {0, 0, 1, 1},
+  });
+  const CoverSolution s = solve_greedy(m);
+  EXPECT_EQ(s.rows.size(), 2u);
+  EXPECT_TRUE(s.feasible);
+}
+
+TEST(Greedy, ThrowsOnUncoverable) {
+  DetectionMatrix m(1, 2);
+  m.set(0, 0);
+  EXPECT_THROW(solve_greedy(m), std::invalid_argument);
+}
+
+TEST(Greedy, ResultIsIrredundant) {
+  util::Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t R = 4 + rng.next_below(8);
+    const std::size_t C = 4 + rng.next_below(12);
+    DetectionMatrix m(R, C);
+    for (std::size_t r = 0; r < R; ++r) {
+      for (std::size_t c = 0; c < C; ++c) {
+        if (rng.next_bool(0.4)) m.set(r, c);
+      }
+    }
+    for (std::size_t c = 0; c < C; ++c) m.set(rng.next_below(R), c);
+    const CoverSolution s = solve_greedy(m);
+    EXPECT_TRUE(s.feasible);
+    EXPECT_TRUE(is_irredundant(m, s.rows)) << "trial " << trial;
+  }
+}
+
+TEST(SolverHelpers, CoversAll) {
+  const auto m = from_rows({
+      {1, 0},
+      {0, 1},
+  });
+  EXPECT_TRUE(covers_all(m, {0, 1}));
+  EXPECT_FALSE(covers_all(m, {0}));
+}
+
+TEST(SolverHelpers, MakeIrredundantDropsRedundant) {
+  const auto m = from_rows({
+      {1, 1, 0},
+      {0, 1, 1},
+      {1, 1, 1},
+  });
+  // {0,1,2}: row 2 alone suffices -> pruning should reach size 1 or an
+  // irredundant subset.
+  const auto pruned = make_irredundant(m, {0, 1, 2});
+  EXPECT_TRUE(covers_all(m, pruned));
+  EXPECT_TRUE(is_irredundant(m, pruned));
+  EXPECT_LT(pruned.size(), 3u);
+}
+
+TEST(Greedy, DeterministicTieBreak) {
+  const auto m = from_rows({
+      {1, 1, 0, 0},
+      {0, 0, 1, 1},
+      {1, 1, 0, 0},   // duplicate of row 0
+  });
+  const CoverSolution a = solve_greedy(m);
+  const CoverSolution b = solve_greedy(m);
+  EXPECT_EQ(a.rows, b.rows);
+  // Lower index wins ties.
+  EXPECT_NE(std::find(a.rows.begin(), a.rows.end(), 0u), a.rows.end());
+}
+
+}  // namespace
+}  // namespace fbist::cover

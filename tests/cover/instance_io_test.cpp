@@ -1,0 +1,80 @@
+#include "cover/instance_io.h"
+
+#include <gtest/gtest.h>
+
+#include "cover/exact.h"
+#include "util/rng.h"
+
+namespace fbist::cover {
+namespace {
+
+DetectionMatrix random_matrix(util::Rng& rng, std::size_t R, std::size_t C) {
+  DetectionMatrix m(R, C);
+  for (std::size_t r = 0; r < R; ++r) {
+    for (std::size_t c = 0; c < C; ++c) {
+      if (rng.next_bool(0.3)) m.set(r, c);
+    }
+  }
+  return m;
+}
+
+TEST(InstanceIo, RoundTripRandomMatrices) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t R = 1 + rng.next_below(20);
+    const std::size_t C = 1 + rng.next_below(40);
+    const auto m = random_matrix(rng, R, C);
+    const auto back = instance_from_string(instance_to_string(m));
+    ASSERT_EQ(back.num_rows(), R);
+    ASSERT_EQ(back.num_cols(), C);
+    for (std::size_t r = 0; r < R; ++r) {
+      EXPECT_EQ(back.row(r), m.row(r)) << "trial " << trial << " row " << r;
+    }
+  }
+}
+
+TEST(InstanceIo, EmptyRowsPreserved) {
+  DetectionMatrix m(3, 4);
+  m.set(0, 1);
+  m.set(2, 3);
+  const auto back = instance_from_string(instance_to_string(m));
+  EXPECT_TRUE(back.row(1).none());
+  EXPECT_TRUE(back.get(2, 3));
+}
+
+TEST(InstanceIo, CommentsIgnored) {
+  const auto m = instance_from_string("# hi\nscp 1 2\n# mid\nrow 0 1\n");
+  EXPECT_TRUE(m.get(0, 0));
+  EXPECT_TRUE(m.get(0, 1));
+}
+
+TEST(InstanceIo, RejectsMalformed) {
+  EXPECT_THROW(instance_from_string(""), std::runtime_error);
+  EXPECT_THROW(instance_from_string("bogus 1 1\n"), std::runtime_error);
+  EXPECT_THROW(instance_from_string("scp 1 2\nrow 5\n"), std::runtime_error);
+  EXPECT_THROW(instance_from_string("scp 2 2\nrow 0\n"), std::runtime_error);
+  EXPECT_THROW(instance_from_string("scp 1 2\nrow 0\nrow 1\n"),
+               std::runtime_error);
+  EXPECT_THROW(instance_from_string("scp 1 2\nrow x\n"), std::runtime_error);
+}
+
+TEST(InstanceIo, SolverAgreesAcrossRoundTrip) {
+  util::Rng rng(9);
+  auto m = random_matrix(rng, 8, 12);
+  for (std::size_t c = 0; c < 12; ++c) m.set(rng.next_below(8), c);
+  const auto back = instance_from_string(instance_to_string(m));
+  EXPECT_EQ(solve_exact(m).rows.size(), solve_exact(back).rows.size());
+}
+
+TEST(InstanceIo, FileRoundTrip) {
+  util::Rng rng(4);
+  const auto m = random_matrix(rng, 5, 7);
+  const std::string path = "/tmp/fbist_instance_test.scp";
+  write_instance_file(m, path);
+  const auto back = read_instance_file(path);
+  for (std::size_t r = 0; r < 5; ++r) EXPECT_EQ(back.row(r), m.row(r));
+  EXPECT_THROW(read_instance_file("/nonexistent/i.scp"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fbist::cover

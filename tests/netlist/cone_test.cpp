@@ -1,0 +1,82 @@
+#include "netlist/cone.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "circuits/registry.h"
+
+namespace fbist::netlist {
+namespace {
+
+TEST(Cone, OutputNetHasEmptyGateCone) {
+  const Netlist nl = circuits::make_c17();
+  const NetId g22 = nl.find("G22");
+  const Cone c = fanout_cone(nl, g22);
+  EXPECT_TRUE(c.gates.empty());
+  ASSERT_EQ(c.output_positions.size(), 1u);
+  EXPECT_EQ(nl.outputs()[c.output_positions[0]], g22);
+}
+
+TEST(Cone, InputConeSpansDownstream) {
+  const Netlist nl = circuits::make_c17();
+  // G3 feeds G10 and G11; G11 feeds G16,G19; G16 feeds G22,G23...
+  const Cone c = fanout_cone(nl, nl.find("G3"));
+  const std::vector<std::string> expect = {"G10", "G11", "G16", "G19", "G22", "G23"};
+  EXPECT_EQ(c.gates.size(), expect.size());
+  for (const auto& name : expect) {
+    EXPECT_NE(std::find(c.gates.begin(), c.gates.end(), nl.find(name)),
+              c.gates.end())
+        << name;
+  }
+  EXPECT_EQ(c.output_positions.size(), 2u);
+}
+
+TEST(Cone, GatesAreTopologicallySorted) {
+  const Netlist nl = circuits::make_circuit("c432");
+  for (const NetId root : {NetId{0}, NetId{10}, NetId{30}}) {
+    const Cone c = fanout_cone(nl, root);
+    EXPECT_TRUE(std::is_sorted(c.gates.begin(), c.gates.end()));
+  }
+}
+
+TEST(Cone, RootNotInOwnGateList) {
+  const Netlist nl = circuits::make_c17();
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    const Cone c = fanout_cone(nl, n);
+    EXPECT_EQ(std::find(c.gates.begin(), c.gates.end(), n), c.gates.end());
+  }
+}
+
+TEST(Cone, EveryConeGateDependsOnRoot) {
+  // Membership check: each cone gate must have at least one fanin in the
+  // cone (or the root), i.e. cones are connected.
+  const Netlist nl = circuits::make_c17();
+  for (NetId root = 0; root < nl.num_nets(); ++root) {
+    const Cone c = fanout_cone(nl, root);
+    std::vector<bool> in_cone(nl.num_nets(), false);
+    in_cone[root] = true;
+    for (const NetId g : c.gates) in_cone[g] = true;
+    for (const NetId g : c.gates) {
+      bool depends = false;
+      for (const NetId f : nl.gate(g).fanin) {
+        if (in_cone[f]) depends = true;
+      }
+      EXPECT_TRUE(depends) << "gate " << nl.gate(g).name;
+    }
+  }
+}
+
+TEST(ConeIndex, MatchesPerNetComputation) {
+  const Netlist nl = circuits::make_c17();
+  const ConeIndex idx(nl);
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    const Cone direct = fanout_cone(nl, n);
+    EXPECT_EQ(idx.cone(n).gates, direct.gates);
+    EXPECT_EQ(idx.cone(n).output_positions, direct.output_positions);
+  }
+  EXPECT_GT(idx.mean_size(), 0.0);
+}
+
+}  // namespace
+}  // namespace fbist::netlist

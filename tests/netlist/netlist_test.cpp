@@ -1,0 +1,127 @@
+#include "netlist/netlist.h"
+
+#include <gtest/gtest.h>
+
+namespace fbist::netlist {
+namespace {
+
+Netlist tiny() {
+  Netlist nl;
+  const auto a = nl.add_input("a");
+  const auto b = nl.add_input("b");
+  const auto g = nl.add_gate(GateType::kAnd, "g", {a, b});
+  const auto h = nl.add_gate(GateType::kNot, "h", {g});
+  nl.mark_output(h);
+  return nl;
+}
+
+TEST(GateType, NamesRoundTrip) {
+  for (const auto t : {GateType::kBuf, GateType::kNot, GateType::kAnd,
+                       GateType::kNand, GateType::kOr, GateType::kNor,
+                       GateType::kXor, GateType::kXnor}) {
+    EXPECT_EQ(gate_type_from_name(gate_type_name(t)), t);
+  }
+}
+
+TEST(GateType, ParserAcceptsAliasesAndCase) {
+  EXPECT_EQ(gate_type_from_name("BUFF"), GateType::kBuf);
+  EXPECT_EQ(gate_type_from_name("inv"), GateType::kNot);
+  EXPECT_EQ(gate_type_from_name("NAND"), GateType::kNand);
+  EXPECT_THROW(gate_type_from_name("mux"), std::runtime_error);
+}
+
+TEST(GateType, ControllingValues) {
+  EXPECT_TRUE(has_controlling_value(GateType::kAnd));
+  EXPECT_TRUE(has_controlling_value(GateType::kNor));
+  EXPECT_FALSE(has_controlling_value(GateType::kXor));
+  EXPECT_FALSE(has_controlling_value(GateType::kNot));
+  EXPECT_FALSE(controlling_value(GateType::kAnd));   // 0 controls AND
+  EXPECT_TRUE(controlling_value(GateType::kOr));     // 1 controls OR
+}
+
+TEST(GateType, InvertingClassification) {
+  EXPECT_TRUE(is_inverting(GateType::kNot));
+  EXPECT_TRUE(is_inverting(GateType::kNand));
+  EXPECT_TRUE(is_inverting(GateType::kXnor));
+  EXPECT_FALSE(is_inverting(GateType::kAnd));
+  EXPECT_FALSE(is_inverting(GateType::kBuf));
+}
+
+TEST(Netlist, BuildCounts) {
+  const Netlist nl = tiny();
+  EXPECT_EQ(nl.num_nets(), 4u);
+  EXPECT_EQ(nl.num_inputs(), 2u);
+  EXPECT_EQ(nl.num_gates(), 2u);
+  EXPECT_EQ(nl.num_outputs(), 1u);
+}
+
+TEST(Netlist, FindByName) {
+  const Netlist nl = tiny();
+  EXPECT_NE(nl.find("g"), kNullNet);
+  EXPECT_EQ(nl.find("nope"), kNullNet);
+  EXPECT_EQ(nl.gate(nl.find("h")).type, GateType::kNot);
+}
+
+TEST(Netlist, InputOutputIndex) {
+  const Netlist nl = tiny();
+  EXPECT_EQ(nl.input_index(nl.find("a")), 0u);
+  EXPECT_EQ(nl.input_index(nl.find("b")), 1u);
+  EXPECT_EQ(nl.input_index(nl.find("g")), static_cast<std::size_t>(-1));
+  EXPECT_EQ(nl.output_index(nl.find("h")), 0u);
+  EXPECT_EQ(nl.output_index(nl.find("g")), static_cast<std::size_t>(-1));
+}
+
+TEST(Netlist, DuplicateNamesRejected) {
+  Netlist nl;
+  nl.add_input("x");
+  EXPECT_THROW(nl.add_input("x"), std::runtime_error);
+  EXPECT_THROW(nl.add_gate(GateType::kNot, "x", {0}), std::runtime_error);
+}
+
+TEST(Netlist, FaninMustExist) {
+  Netlist nl;
+  nl.add_input("x");
+  EXPECT_THROW(nl.add_gate(GateType::kNot, "y", {5}), std::runtime_error);
+}
+
+TEST(Netlist, AddGateRejectsInputType) {
+  Netlist nl;
+  nl.add_input("x");
+  EXPECT_THROW(nl.add_gate(GateType::kInput, "y", {}), std::runtime_error);
+}
+
+TEST(Netlist, MarkOutputDeduplicates) {
+  Netlist nl = tiny();
+  const auto h = nl.find("h");
+  nl.mark_output(h);
+  EXPECT_EQ(nl.num_outputs(), 1u);
+}
+
+TEST(Netlist, FanoutsComputed) {
+  const Netlist nl = tiny();
+  const auto& fo = nl.fanouts();
+  EXPECT_EQ(fo[nl.find("a")].size(), 1u);
+  EXPECT_EQ(fo[nl.find("g")][0], nl.find("h"));
+  EXPECT_TRUE(fo[nl.find("h")].empty());
+}
+
+TEST(Netlist, ValidatePassesOnWellFormed) {
+  EXPECT_NO_THROW(tiny().validate());
+}
+
+TEST(Netlist, ValidateRejectsNoOutputs) {
+  Netlist nl;
+  const auto a = nl.add_input("a");
+  nl.add_gate(GateType::kNot, "n", {a});
+  EXPECT_THROW(nl.validate(), std::runtime_error);
+}
+
+TEST(Netlist, SummaryMentionsCounts) {
+  const std::string s = tiny().summary("t");
+  EXPECT_NE(s.find("2 PI"), std::string::npos);
+  EXPECT_NE(s.find("1 PO"), std::string::npos);
+  EXPECT_NE(s.find("2 gates"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fbist::netlist

@@ -1,0 +1,88 @@
+// Tests for the on-the-fly full-scan flattening in the .bench parser
+// (Q = DFF(D) lines -> scan PI/PO pairs), the treatment the paper
+// applies to the ISCAS'89 circuits.
+#include <gtest/gtest.h>
+
+#include "netlist/bench_io.h"
+
+namespace fbist::netlist {
+namespace {
+
+constexpr const char* kSequential = R"(
+# 2-bit shift register with an AND readout
+INPUT(clkin)
+OUTPUT(y)
+q0 = DFF(clkin)
+q1 = DFF(q0)
+y = AND(q0, q1)
+)";
+
+TEST(ScanFlatten, DffBecomesPiPoPair) {
+  const Netlist nl = parse_bench_string(kSequential);
+  // PIs: clkin + q0 + q1 (scan-ins).
+  EXPECT_EQ(nl.num_inputs(), 3u);
+  EXPECT_NE(nl.input_index(nl.find("q0")), static_cast<std::size_t>(-1));
+  EXPECT_NE(nl.input_index(nl.find("q1")), static_cast<std::size_t>(-1));
+  // POs: y + the two DFF data inputs (clkin feeds q0 -> clkin is a PO;
+  // q0 feeds q1 -> q0 is also a PO).
+  EXPECT_EQ(nl.num_outputs(), 3u);
+  EXPECT_NE(nl.output_index(nl.find("y")), static_cast<std::size_t>(-1));
+  EXPECT_NE(nl.output_index(nl.find("clkin")), static_cast<std::size_t>(-1));
+  EXPECT_NE(nl.output_index(nl.find("q0")), static_cast<std::size_t>(-1));
+}
+
+TEST(ScanFlatten, ResultIsCombinationalAndValid) {
+  const Netlist nl = parse_bench_string(kSequential);
+  EXPECT_NO_THROW(nl.validate());
+  for (NetId id = 0; id < nl.num_nets(); ++id) {
+    // No DFF gate type survives flattening.
+    EXPECT_NE(nl.gate(id).name, "DFF");
+  }
+}
+
+TEST(ScanFlatten, CombinationalLogicReadsScanIn) {
+  const Netlist nl = parse_bench_string(kSequential);
+  const auto& y = nl.gate(nl.find("y"));
+  ASSERT_EQ(y.fanin.size(), 2u);
+  EXPECT_EQ(y.fanin[0], nl.find("q0"));
+  EXPECT_EQ(y.fanin[1], nl.find("q1"));
+}
+
+TEST(ScanFlatten, DffWithTwoInputsRejected) {
+  EXPECT_THROW(
+      parse_bench_string("INPUT(a)\nOUTPUT(q)\nq = DFF(a, a)\n"),
+      std::runtime_error);
+}
+
+TEST(ScanFlatten, DffWithUndefinedDataRejected) {
+  EXPECT_THROW(
+      parse_bench_string("INPUT(a)\nOUTPUT(b)\nb = BUF(a)\nq = DFF(ghost)\n"),
+      std::runtime_error);
+}
+
+TEST(ScanFlatten, PurelyCombinationalFileUnaffected) {
+  const char* comb = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = OR(a, b)\n";
+  const Netlist nl = parse_bench_string(comb);
+  EXPECT_EQ(nl.num_inputs(), 2u);
+  EXPECT_EQ(nl.num_outputs(), 1u);
+}
+
+TEST(ScanFlatten, DffChainCountsMatchIscasConvention) {
+  // A design with I inputs, O outputs and F flip-flops flattens to
+  // I+F PIs and O+F' POs where F' counts *distinct* data-input nets.
+  const char* text = R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(o1)
+g1 = NAND(a, b)
+q1 = DFF(g1)
+q2 = DFF(g1)     # shares data net with q1
+o1 = XOR(q1, q2)
+)";
+  const Netlist nl = parse_bench_string(text);
+  EXPECT_EQ(nl.num_inputs(), 4u);   // a, b, q1, q2
+  EXPECT_EQ(nl.num_outputs(), 2u);  // o1 + g1 (shared, deduplicated)
+}
+
+}  // namespace
+}  // namespace fbist::netlist

@@ -1,0 +1,134 @@
+#include "reseed/initial_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "atpg/engine.h"
+#include "circuits/registry.h"
+#include "tpg/accumulator.h"
+
+namespace fbist::reseed {
+namespace {
+
+struct Fixture {
+  netlist::Netlist nl = circuits::make_c17();
+  fault::FaultList fl = fault::FaultList::full(nl);
+  sim::FaultSim fsim{nl, fl};
+  atpg::AtpgResult atpg = atpg::run_atpg(nl, fl);
+};
+
+TEST(InitialBuilder, OneTripletPerAtpgPattern) {
+  Fixture f;
+  tpg::AdderTpg tpg(f.nl.num_inputs());
+  const InitialReseeding init =
+      build_initial_reseeding(f.fsim, tpg, f.atpg.patterns);
+  EXPECT_EQ(init.triplets.size(), f.atpg.patterns.size());
+  EXPECT_EQ(init.matrix.num_rows(), f.atpg.patterns.size());
+  EXPECT_EQ(init.matrix.num_cols(), f.fl.size());
+}
+
+TEST(InitialBuilder, DeltaEqualsAtpgPattern) {
+  Fixture f;
+  tpg::AdderTpg tpg(f.nl.num_inputs());
+  const InitialReseeding init =
+      build_initial_reseeding(f.fsim, tpg, f.atpg.patterns);
+  for (std::size_t i = 0; i < init.triplets.size(); ++i) {
+    EXPECT_EQ(init.triplets[i].delta, f.atpg.patterns.pattern(i));
+  }
+}
+
+TEST(InitialBuilder, CyclesAppliedUniformly) {
+  Fixture f;
+  tpg::AdderTpg tpg(f.nl.num_inputs());
+  BuilderOptions opts;
+  opts.cycles_per_triplet = 17;
+  const InitialReseeding init =
+      build_initial_reseeding(f.fsim, tpg, f.atpg.patterns, opts);
+  for (const auto& t : init.triplets) EXPECT_EQ(t.cycles, 17u);
+}
+
+TEST(InitialBuilder, RowsMatchDirectFaultSim) {
+  Fixture f;
+  tpg::AdderTpg tpg(f.nl.num_inputs());
+  BuilderOptions opts;
+  opts.cycles_per_triplet = 8;
+  const InitialReseeding init =
+      build_initial_reseeding(f.fsim, tpg, f.atpg.patterns, opts);
+  for (std::size_t i = 0; i < init.triplets.size(); ++i) {
+    const auto ts = tpg::expand_triplet(tpg, init.triplets[i]);
+    const auto direct = f.fsim.run(ts);
+    EXPECT_EQ(init.matrix.row(i), direct.detected) << "triplet " << i;
+  }
+}
+
+TEST(InitialBuilder, CompleteByConstructionOnDetectedFaults) {
+  // Every ATPG-detected fault must be covered by some candidate: the
+  // first pattern of TS_i is p_i itself.  c17 has full coverage, so no
+  // column may be uncoverable.
+  Fixture f;
+  tpg::AdderTpg tpg(f.nl.num_inputs());
+  const InitialReseeding init =
+      build_initial_reseeding(f.fsim, tpg, f.atpg.patterns);
+  EXPECT_TRUE(init.uncovered_faults.empty());
+  EXPECT_TRUE(init.matrix.all_columns_coverable());
+}
+
+TEST(InitialBuilder, LongerEvolutionCoversAtLeastAsMuchPerRow) {
+  Fixture f;
+  tpg::AdderTpg tpg(f.nl.num_inputs());
+  BuilderOptions short_opts, long_opts;
+  short_opts.cycles_per_triplet = 1;
+  long_opts.cycles_per_triplet = 32;
+  short_opts.seed = long_opts.seed = 5;
+  short_opts.shared_sigma = long_opts.shared_sigma = true;
+  const auto a = build_initial_reseeding(f.fsim, tpg, f.atpg.patterns, short_opts);
+  const auto b = build_initial_reseeding(f.fsim, tpg, f.atpg.patterns, long_opts);
+  for (std::size_t i = 0; i < a.triplets.size(); ++i) {
+    EXPECT_TRUE(a.matrix.row(i).is_subset_of(b.matrix.row(i))) << i;
+  }
+}
+
+TEST(InitialBuilder, EarliestIndicesAttachedAndConsistent) {
+  Fixture f;
+  tpg::AdderTpg tpg(f.nl.num_inputs());
+  BuilderOptions opts;
+  opts.cycles_per_triplet = 16;
+  const InitialReseeding init =
+      build_initial_reseeding(f.fsim, tpg, f.atpg.patterns, opts);
+  ASSERT_TRUE(init.matrix.has_earliest());
+  for (std::size_t r = 0; r < init.matrix.num_rows(); ++r) {
+    for (std::size_t c = 0; c < init.matrix.num_cols(); ++c) {
+      if (init.matrix.get(r, c)) {
+        EXPECT_LT(init.matrix.earliest(r, c), opts.cycles_per_triplet);
+      } else {
+        EXPECT_EQ(init.matrix.earliest(r, c), sim::kNotDetected);
+      }
+    }
+  }
+}
+
+TEST(InitialBuilder, DeterministicGivenSeed) {
+  Fixture f;
+  tpg::AdderTpg tpg(f.nl.num_inputs());
+  BuilderOptions opts;
+  opts.seed = 99;
+  const auto a = build_initial_reseeding(f.fsim, tpg, f.atpg.patterns, opts);
+  const auto b = build_initial_reseeding(f.fsim, tpg, f.atpg.patterns, opts);
+  for (std::size_t i = 0; i < a.triplets.size(); ++i) {
+    EXPECT_EQ(a.triplets[i].sigma, b.triplets[i].sigma);
+    EXPECT_EQ(a.matrix.row(i), b.matrix.row(i));
+  }
+}
+
+TEST(InitialBuilder, SharedSigmaUsesOneValue) {
+  Fixture f;
+  tpg::AdderTpg tpg(f.nl.num_inputs());
+  BuilderOptions opts;
+  opts.shared_sigma = true;
+  const auto init = build_initial_reseeding(f.fsim, tpg, f.atpg.patterns, opts);
+  for (std::size_t i = 1; i < init.triplets.size(); ++i) {
+    EXPECT_EQ(init.triplets[i].sigma, init.triplets[0].sigma);
+  }
+}
+
+}  // namespace
+}  // namespace fbist::reseed

@@ -1,0 +1,110 @@
+#include "reseed/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include "reseed/pipeline.h"
+#include "tpg/triplet.h"
+#include "util/rng.h"
+
+namespace fbist::reseed {
+namespace {
+
+RomImage sample_rom(std::size_t width = 16, std::size_t n = 3) {
+  util::Rng rng(5);
+  RomImage rom;
+  rom.circuit = "c432";
+  rom.tpg_name = "adder";
+  rom.width = width;
+  for (std::size_t i = 0; i < n; ++i) {
+    tpg::Triplet t;
+    t.delta = util::WideWord::random(width, rng);
+    t.sigma = util::WideWord::random(width, rng);
+    t.cycles = 10 + i;
+    rom.triplets.push_back(std::move(t));
+  }
+  return rom;
+}
+
+TEST(Serialize, RoundTripPreservesEverything) {
+  const RomImage rom = sample_rom();
+  const RomImage back = rom_from_string(rom_to_string(rom));
+  EXPECT_EQ(rom, back);
+}
+
+TEST(Serialize, RoundTripWideWidths) {
+  // Scan-width registers (odd sizes, multiple words).
+  for (const std::size_t w : {1u, 63u, 64u, 65u, 200u, 700u}) {
+    const RomImage rom = sample_rom(w, 2);
+    EXPECT_EQ(rom, rom_from_string(rom_to_string(rom))) << "width " << w;
+  }
+}
+
+TEST(Serialize, StatsComputed) {
+  const RomImage rom = sample_rom(16, 3);
+  EXPECT_EQ(rom.test_length(), 10u + 11u + 12u);
+  EXPECT_EQ(rom.rom_bits(), 3u * (2 * 16 + 32));
+}
+
+TEST(Serialize, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "fbist-rom v1\n\n# comment\ncircuit x\ntpg adder\nwidth 8\n"
+      "# another\ntriplet ff 01 5\n";
+  const RomImage rom = rom_from_string(text);
+  EXPECT_EQ(rom.triplets.size(), 1u);
+  EXPECT_EQ(rom.triplets[0].cycles, 5u);
+  EXPECT_EQ(rom.triplets[0].delta, util::WideWord(8, 0xFF));
+}
+
+TEST(Serialize, RejectsMissingHeader) {
+  EXPECT_THROW(rom_from_string("circuit x\n"), std::runtime_error);
+  EXPECT_THROW(rom_from_string(""), std::runtime_error);
+  EXPECT_THROW(rom_from_string("fbist-rom v2\n"), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTripletBeforeWidth) {
+  EXPECT_THROW(
+      rom_from_string("fbist-rom v1\ncircuit x\ntpg adder\ntriplet ff 01 5\n"),
+      std::runtime_error);
+}
+
+TEST(Serialize, RejectsMalformedRecords) {
+  const std::string head = "fbist-rom v1\ncircuit x\ntpg adder\nwidth 8\n";
+  EXPECT_THROW(rom_from_string(head + "triplet zz 01 5\n"), std::runtime_error);
+  EXPECT_THROW(rom_from_string(head + "triplet ff 01 0\n"), std::runtime_error);
+  EXPECT_THROW(rom_from_string(head + "bogus record\n"), std::runtime_error);
+  EXPECT_THROW(rom_from_string("fbist-rom v1\nwidth 0\n"), std::runtime_error);
+}
+
+TEST(Serialize, RejectsIncompleteHeader) {
+  EXPECT_THROW(rom_from_string("fbist-rom v1\ncircuit x\nwidth 8\n"),
+               std::runtime_error);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const RomImage rom = sample_rom();
+  const std::string path = "/tmp/fbist_serialize_test.rom";
+  write_rom_file(rom, path);
+  EXPECT_EQ(read_rom_file(path), rom);
+  EXPECT_THROW(read_rom_file("/nonexistent/x.rom"), std::runtime_error);
+}
+
+TEST(Serialize, EndToEndSolutionReplay) {
+  // Compute a solution, serialize, reload, expand the reloaded triplets
+  // and confirm identical coverage — the full offline/online split.
+  const Pipeline p("c17");
+  const auto sol = p.run(tpg::TpgKind::kAdder, 16);
+  const RomImage rom =
+      to_rom_image(sol, "c17", "adder", p.circuit().num_inputs());
+  const RomImage loaded = rom_from_string(rom_to_string(rom));
+
+  const auto tpg = tpg::make_tpg(tpg::TpgKind::kAdder, loaded.width);
+  sim::PatternSet all(loaded.width, 0);
+  for (const auto& t : loaded.triplets) {
+    all.append_all(tpg::expand_triplet(*tpg, t));
+  }
+  const auto r = p.fault_sim().run(all);
+  EXPECT_EQ(r.num_detected(), sol.faults_targeted);
+}
+
+}  // namespace
+}  // namespace fbist::reseed

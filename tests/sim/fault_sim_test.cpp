@@ -1,0 +1,164 @@
+#include "sim/fault_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "circuits/generator.h"
+#include "circuits/registry.h"
+
+namespace fbist::sim {
+namespace {
+
+using netlist::GateType;
+using netlist::Netlist;
+
+// Reference detection check: simulate good and faulty circuits naively.
+bool reference_detects(const Netlist& nl, const fault::Fault& f,
+                       const util::WideWord& pattern) {
+  LogicSim sim(nl);
+  const auto good = sim.simulate_single(pattern);
+  // Faulty evaluation: force f.net after computing each gate.
+  std::vector<bool> v(nl.num_nets(), false);
+  for (std::size_t i = 0; i < nl.num_inputs(); ++i) {
+    v[nl.inputs()[i]] = pattern.get_bit(i);
+  }
+  if (nl.gate(f.net).type == GateType::kInput) v[f.net] = f.stuck_value;
+  for (netlist::NetId id = 0; id < nl.num_nets(); ++id) {
+    const auto& g = nl.gate(id);
+    if (g.type != GateType::kInput) {
+      bool r = v[g.fanin[0]];
+      switch (g.type) {
+        case GateType::kBuf: break;
+        case GateType::kNot: r = !r; break;
+        case GateType::kAnd:
+        case GateType::kNand:
+          for (std::size_t i = 1; i < g.fanin.size(); ++i) r = r && v[g.fanin[i]];
+          if (g.type == GateType::kNand) r = !r;
+          break;
+        case GateType::kOr:
+        case GateType::kNor:
+          for (std::size_t i = 1; i < g.fanin.size(); ++i) r = r || v[g.fanin[i]];
+          if (g.type == GateType::kNor) r = !r;
+          break;
+        case GateType::kXor:
+        case GateType::kXnor:
+          for (std::size_t i = 1; i < g.fanin.size(); ++i) r = r != v[g.fanin[i]];
+          if (g.type == GateType::kXnor) r = !r;
+          break;
+        default: break;
+      }
+      v[id] = r;
+    }
+    if (id == f.net) v[id] = f.stuck_value;
+  }
+  for (const auto o : nl.outputs()) {
+    if (v[o] != good[o]) return true;
+  }
+  return false;
+}
+
+TEST(FaultSim, MatchesReferenceOnC17AllFaultsAllPatterns) {
+  const auto nl = circuits::make_c17();
+  const auto fl = fault::FaultList::full(nl);
+  FaultSim fsim(nl, fl);
+
+  for (unsigned vec = 0; vec < 32; ++vec) {
+    util::WideWord pat(5);
+    for (std::size_t i = 0; i < 5; ++i) pat.set_bit(i, (vec >> i) & 1);
+    for (std::size_t fid = 0; fid < fl.size(); ++fid) {
+      EXPECT_EQ(fsim.detects(pat, fid), reference_detects(nl, fl[fid], pat))
+          << "vec=" << vec << " fault=" << fault_name(nl, fl[fid]);
+    }
+  }
+}
+
+TEST(FaultSim, EarliestIndexIsFirstDetectingPattern) {
+  const auto nl = circuits::make_c17();
+  const auto fl = fault::FaultList::full(nl);
+  FaultSim fsim(nl, fl);
+
+  util::Rng rng(9);
+  const PatternSet ps = PatternSet::random(5, 100, rng);
+  const FaultSimResult r = fsim.run(ps, /*stop_after_first_detection=*/true,
+                                    /*parallel=*/false);
+  for (std::size_t fid = 0; fid < fl.size(); ++fid) {
+    if (!r.detected.get(fid)) {
+      EXPECT_EQ(r.earliest[fid], kNotDetected);
+      continue;
+    }
+    const std::uint32_t idx = r.earliest[fid];
+    // The reported pattern must detect the fault...
+    EXPECT_TRUE(fsim.detects(ps.pattern(idx), fid));
+    // ...and no earlier pattern may.
+    for (std::uint32_t p = 0; p < idx; ++p) {
+      EXPECT_FALSE(fsim.detects(ps.pattern(p), fid))
+          << "fault " << fid << " detected earlier at " << p;
+    }
+  }
+}
+
+TEST(FaultSim, ParallelAndSerialAgree) {
+  circuits::GeneratorSpec spec;
+  spec.num_inputs = 16;
+  spec.num_outputs = 8;
+  spec.num_gates = 200;
+  spec.seed = 15;
+  const Netlist nl = circuits::generate(spec);
+  const auto fl = fault::FaultList::collapsed(nl);
+  FaultSim fsim(nl, fl);
+
+  util::Rng rng(77);
+  const PatternSet ps = PatternSet::random(16, 192, rng);
+  const FaultSimResult par = fsim.run(ps, true, true);
+  const FaultSimResult ser = fsim.run(ps, true, false);
+  EXPECT_EQ(par.detected, ser.detected);
+  EXPECT_EQ(par.earliest, ser.earliest);
+}
+
+TEST(FaultSim, SubsetRunIgnoresInactive) {
+  const auto nl = circuits::make_c17();
+  const auto fl = fault::FaultList::full(nl);
+  FaultSim fsim(nl, fl);
+  util::Rng rng(3);
+  const PatternSet ps = PatternSet::random(5, 64, rng);
+
+  std::vector<bool> active(fl.size(), false);
+  active[2] = true;
+  active[7] = true;
+  const FaultSimResult r = fsim.run_subset(ps, active, true, false);
+  r.detected.for_each_set([&](std::size_t fid) {
+    EXPECT_TRUE(fid == 2 || fid == 7);
+  });
+}
+
+TEST(FaultSim, EmptyPatternsDetectNothing) {
+  const auto nl = circuits::make_c17();
+  const auto fl = fault::FaultList::full(nl);
+  FaultSim fsim(nl, fl);
+  const PatternSet empty(5, 0);
+  const FaultSimResult r = fsim.run(empty);
+  EXPECT_EQ(r.num_detected(), 0u);
+}
+
+TEST(FaultSim, CoveragePercent) {
+  FaultSimResult r;
+  r.detected = util::BitVector(10);
+  r.detected.set(0);
+  r.detected.set(1);
+  EXPECT_DOUBLE_EQ(r.coverage_percent(10), 20.0);
+  EXPECT_DOUBLE_EQ(r.coverage_percent(0), 100.0);
+}
+
+TEST(FaultSim, RandomPatternsDetectMostC17Faults) {
+  // c17 is tiny and fully random testable; 64 random patterns should
+  // catch everything.
+  const auto nl = circuits::make_c17();
+  const auto fl = fault::FaultList::full(nl);
+  FaultSim fsim(nl, fl);
+  util::Rng rng(21);
+  const PatternSet ps = PatternSet::random(5, 64, rng);
+  const FaultSimResult r = fsim.run(ps);
+  EXPECT_EQ(r.num_detected(), fl.size());
+}
+
+}  // namespace
+}  // namespace fbist::sim

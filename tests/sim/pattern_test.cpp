@@ -1,0 +1,111 @@
+#include "sim/pattern.h"
+
+#include <gtest/gtest.h>
+
+namespace fbist::sim {
+namespace {
+
+TEST(PatternSet, FixedConstruction) {
+  PatternSet ps(8, 10);
+  EXPECT_EQ(ps.num_inputs(), 8u);
+  EXPECT_EQ(ps.size(), 10u);
+  EXPECT_FALSE(ps.get(0, 0));
+  ps.set(3, 5, true);
+  EXPECT_TRUE(ps.get(3, 5));
+  ps.set(3, 5, false);
+  EXPECT_FALSE(ps.get(3, 5));
+}
+
+TEST(PatternSet, AppendWideWord) {
+  PatternSet ps(4, 0);
+  util::WideWord w(4, 0b1010);
+  ps.append(w);
+  EXPECT_EQ(ps.size(), 1u);
+  EXPECT_FALSE(ps.get(0, 0));
+  EXPECT_TRUE(ps.get(0, 1));
+  EXPECT_FALSE(ps.get(0, 2));
+  EXPECT_TRUE(ps.get(0, 3));
+}
+
+TEST(PatternSet, AppendWidthMismatchThrows) {
+  PatternSet ps(4, 0);
+  EXPECT_THROW(ps.append(util::WideWord(5)), std::invalid_argument);
+}
+
+TEST(PatternSet, AppendBools) {
+  PatternSet ps(3, 0);
+  ps.append(std::vector<bool>{true, false, true});
+  EXPECT_TRUE(ps.get(0, 0));
+  EXPECT_FALSE(ps.get(0, 1));
+  EXPECT_TRUE(ps.get(0, 2));
+}
+
+TEST(PatternSet, PatternRoundTrip) {
+  util::Rng rng(4);
+  PatternSet ps(65, 0);
+  std::vector<util::WideWord> originals;
+  for (int i = 0; i < 130; ++i) {
+    originals.push_back(util::WideWord::random(65, rng));
+    ps.append(originals.back());
+  }
+  for (std::size_t p = 0; p < originals.size(); ++p) {
+    EXPECT_EQ(ps.pattern(p), originals[p]) << p;
+  }
+}
+
+TEST(PatternSet, AppendAllConcatenates) {
+  util::Rng rng(5);
+  PatternSet a = PatternSet::random(10, 70, rng);
+  PatternSet b = PatternSet::random(10, 30, rng);
+  PatternSet all = a;
+  all.append_all(b);
+  ASSERT_EQ(all.size(), 100u);
+  for (std::size_t p = 0; p < 70; ++p) EXPECT_EQ(all.pattern(p), a.pattern(p));
+  for (std::size_t p = 0; p < 30; ++p) EXPECT_EQ(all.pattern(70 + p), b.pattern(p));
+}
+
+TEST(PatternSet, AppendAllToEmptyAdopts) {
+  util::Rng rng(6);
+  PatternSet a;
+  const PatternSet b = PatternSet::random(7, 9, rng);
+  a.append_all(b);
+  EXPECT_EQ(a.size(), 9u);
+  EXPECT_EQ(a.num_inputs(), 7u);
+}
+
+TEST(PatternSet, AppendAllWidthMismatchThrows) {
+  util::Rng rng(7);
+  PatternSet a = PatternSet::random(4, 2, rng);
+  const PatternSet b = PatternSet::random(5, 2, rng);
+  EXPECT_THROW(a.append_all(b), std::invalid_argument);
+}
+
+TEST(PatternSet, SlicesMatchPatterns) {
+  util::Rng rng(8);
+  const PatternSet ps = PatternSet::random(12, 200, rng);
+  for (std::size_t i = 0; i < 12; ++i) {
+    const auto& slice = ps.slice(i);
+    for (std::size_t p = 0; p < 200; ++p) {
+      EXPECT_EQ(slice.get(p), ps.get(p, i));
+    }
+  }
+}
+
+TEST(PatternSet, RandomIsDeterministic) {
+  util::Rng a(99), b(99);
+  const PatternSet x = PatternSet::random(20, 50, a);
+  const PatternSet y = PatternSet::random(20, 50, b);
+  for (std::size_t p = 0; p < 50; ++p) {
+    EXPECT_EQ(x.pattern(p), y.pattern(p));
+  }
+}
+
+TEST(PatternSet, PatternString) {
+  PatternSet ps(4, 1);
+  ps.set(0, 1, true);
+  ps.set(0, 3, true);
+  EXPECT_EQ(ps.pattern_string(0), "0101");
+}
+
+}  // namespace
+}  // namespace fbist::sim

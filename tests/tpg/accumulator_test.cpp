@@ -1,0 +1,92 @@
+#include "tpg/accumulator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.h"
+
+namespace fbist::tpg {
+namespace {
+
+TEST(AdderTpg, StepAdds) {
+  AdderTpg tpg(8);
+  const util::WideWord s(8, 200), sigma(8, 100);
+  EXPECT_EQ(tpg.step(s, sigma), util::WideWord(8, 44));  // 300 mod 256
+}
+
+TEST(SubtracterTpg, StepSubtracts) {
+  SubtracterTpg tpg(8);
+  const util::WideWord s(8, 10), sigma(8, 20);
+  EXPECT_EQ(tpg.step(s, sigma), util::WideWord(8, 246));  // -10 mod 256
+}
+
+TEST(MultiplierTpg, StepMultiplies) {
+  MultiplierTpg tpg(8);
+  const util::WideWord s(8, 7), sigma(8, 9);
+  EXPECT_EQ(tpg.step(s, sigma), util::WideWord(8, 63));
+}
+
+TEST(MultiplierTpg, LegalizeForcesOdd) {
+  MultiplierTpg tpg(8);
+  EXPECT_TRUE(tpg.legalize_sigma(util::WideWord(8, 4)).is_odd());
+  EXPECT_TRUE(tpg.legalize_sigma(util::WideWord(8, 5)).is_odd());
+}
+
+TEST(AdderSubtracter, AreInverses) {
+  AdderTpg add(32);
+  SubtracterTpg sub(32);
+  util::Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    const auto s = util::WideWord::random(32, rng);
+    const auto sigma = util::WideWord::random(32, rng);
+    EXPECT_EQ(sub.step(add.step(s, sigma), sigma), s);
+  }
+}
+
+TEST(AdderTpg, OddSigmaFullPeriod) {
+  // With odd sigma, the adder enumerates all 2^n states before repeating.
+  AdderTpg tpg(6);
+  util::WideWord state(6, 17);
+  const util::WideWord sigma(6, 13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_TRUE(seen.insert(state.words()[0]).second) << i;
+    state = tpg.step(state, sigma);
+  }
+  EXPECT_EQ(state, util::WideWord(6, 17));  // back to the seed
+}
+
+TEST(MultiplierTpg, OddSigmaIsInjectiveOnStates) {
+  MultiplierTpg tpg(6);
+  const util::WideWord sigma = tpg.legalize_sigma(util::WideWord(6, 11));
+  std::set<std::uint64_t> images;
+  for (std::uint64_t x = 0; x < 64; ++x) {
+    const auto y = tpg.step(util::WideWord(6, x), sigma);
+    EXPECT_TRUE(images.insert(y.words()[0]).second) << x;
+  }
+}
+
+TEST(Tpg, FactoryProducesAllKinds) {
+  for (const auto kind : {TpgKind::kAdder, TpgKind::kSubtracter,
+                          TpgKind::kMultiplier, TpgKind::kLfsr}) {
+    const auto tpg = make_tpg(kind, 16);
+    ASSERT_NE(tpg, nullptr);
+    EXPECT_EQ(tpg->width(), 16u);
+    EXPECT_EQ(tpg->name(), tpg_kind_name(kind));
+  }
+  EXPECT_THROW(make_tpg(TpgKind::kAdder, 0), std::invalid_argument);
+}
+
+TEST(Tpg, WideWidthStepsWork) {
+  // Paper-scale widths: hundreds of bits (s13207-like has 700 PIs).
+  const auto tpg = make_tpg(TpgKind::kMultiplier, 700);
+  util::Rng rng(5);
+  const auto s = util::WideWord::random(700, rng);
+  const auto sigma = tpg->legalize_sigma(util::WideWord::random(700, rng));
+  const auto next = tpg->step(s, sigma);
+  EXPECT_EQ(next.bits(), 700u);
+}
+
+}  // namespace
+}  // namespace fbist::tpg

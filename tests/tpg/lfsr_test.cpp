@@ -1,0 +1,81 @@
+#include "tpg/lfsr.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace fbist::tpg {
+namespace {
+
+TEST(LfsrTpg, DefaultTapsWithinWidth) {
+  LfsrTpg tpg(16);
+  for (const auto t : tpg.taps()) EXPECT_LT(t, 16u);
+  EXPECT_FALSE(tpg.taps().empty());
+}
+
+TEST(LfsrTpg, ExplicitTapsValidated) {
+  EXPECT_THROW(LfsrTpg(8, {9}), std::invalid_argument);
+  EXPECT_THROW(LfsrTpg(0), std::invalid_argument);
+  LfsrTpg ok(8, {0, 3});
+  EXPECT_EQ(ok.taps().size(), 2u);
+}
+
+TEST(LfsrTpg, TapsDeduplicated) {
+  LfsrTpg tpg(8, {3, 3, 0, 0});
+  EXPECT_EQ(tpg.taps().size(), 2u);
+}
+
+TEST(LfsrTpg, StepShiftsAndFeedsBack) {
+  // width 4, taps {0,3}: feedback = s0 ^ s3; next = (s << 1) | feedback.
+  LfsrTpg tpg(4, {0, 3});
+  util::WideWord s(4, 0b1001);  // s0=1, s3=1 -> feedback 0
+  const auto next = tpg.step(s, util::WideWord(4, 0));
+  EXPECT_EQ(next, util::WideWord(4, 0b0010));
+}
+
+TEST(LfsrTpg, SigmaXoredIn) {
+  LfsrTpg tpg(4, {0});
+  util::WideWord s(4, 0b0001);  // feedback = 1
+  const auto next = tpg.step(s, util::WideWord(4, 0b1000));
+  // shift: 0b0011, xor sigma: 0b1011.
+  EXPECT_EQ(next, util::WideWord(4, 0b1011));
+}
+
+TEST(LfsrTpg, MaximalLengthPolynomialFullPeriod) {
+  // x^4 + x^3 + 1 is primitive; Fibonacci LFSR with taps {3, 0}? The
+  // feedback polynomial taps for max length on width 4 are bits {3, 2}
+  // in the common convention; our convention XORs chosen state bits.
+  // Empirically verify that taps {1, 0} give period 15 in this
+  // implementation (all nonzero states visited) — if not, at least a
+  // long orbit and an eventual return to the seed.
+  LfsrTpg tpg(4, {3, 2});
+  const util::WideWord zero(4, 0);
+  util::WideWord s(4, 1);
+  std::set<std::uint64_t> seen;
+  int period = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (!seen.insert(s.words()[0]).second) break;
+    s = tpg.step(s, zero);
+    ++period;
+  }
+  EXPECT_EQ(period, 15) << "taps {3,2} should be maximal on width 4";
+}
+
+TEST(LfsrTpg, ZeroStateZeroSigmaIsFixedPoint) {
+  LfsrTpg tpg(8);
+  const util::WideWord zero(8, 0);
+  EXPECT_EQ(tpg.step(zero, zero), zero);
+}
+
+TEST(LfsrTpg, AutonomousOrbitNeverHitsZeroFromNonzero) {
+  LfsrTpg tpg(4, {3, 2});  // maximal
+  const util::WideWord zero(4, 0);
+  util::WideWord s(4, 5);
+  for (int i = 0; i < 30; ++i) {
+    s = tpg.step(s, zero);
+    EXPECT_FALSE(s.is_zero());
+  }
+}
+
+}  // namespace
+}  // namespace fbist::tpg

@@ -1,0 +1,76 @@
+#include "tpg/multipoly_lfsr.h"
+
+#include <gtest/gtest.h>
+
+#include "tpg/lfsr.h"
+
+namespace fbist::tpg {
+namespace {
+
+TEST(MultiPolyLfsr, DefaultBankHasFourPolynomials) {
+  MultiPolyLfsrTpg tpg(16);
+  EXPECT_EQ(tpg.num_polynomials(), 4u);
+  EXPECT_EQ(tpg.selector_bits(), 2u);
+}
+
+TEST(MultiPolyLfsr, SelectorReadsLowSigmaBits) {
+  MultiPolyLfsrTpg tpg(16);
+  EXPECT_EQ(tpg.selected_polynomial(util::WideWord(16, 0b00)), 0u);
+  EXPECT_EQ(tpg.selected_polynomial(util::WideWord(16, 0b01)), 1u);
+  EXPECT_EQ(tpg.selected_polynomial(util::WideWord(16, 0b10)), 2u);
+  EXPECT_EQ(tpg.selected_polynomial(util::WideWord(16, 0b11)), 3u);
+  // Higher bits do not affect selection.
+  EXPECT_EQ(tpg.selected_polynomial(util::WideWord(16, 0b100)), 0u);
+}
+
+TEST(MultiPolyLfsr, DifferentPolynomialsDivergeFromSameSeed) {
+  MultiPolyLfsrTpg tpg(16);
+  const util::WideWord seed(16, 0xACE0 >> 1 | 1);
+  auto run = [&](std::uint64_t sel) {
+    util::WideWord s = seed;
+    const util::WideWord sigma(16, sel);
+    for (int i = 0; i < 8; ++i) s = tpg.step(s, sigma);
+    return s;
+  };
+  EXPECT_NE(run(0), run(1));
+  EXPECT_NE(run(1), run(2));
+}
+
+TEST(MultiPolyLfsr, SelectorZeroMatchesPlainLfsrWithSameTaps) {
+  const std::vector<std::size_t> taps = {0, 3, 5};
+  MultiPolyLfsrTpg mp(12, {taps, {0, 1}});
+  LfsrTpg plain(12, taps);
+  // sigma = 0 selects polynomial 0 and injects nothing.
+  util::WideWord s(12, 0x4A1);
+  const util::WideWord zero(12, 0);
+  for (int i = 0; i < 10; ++i) {
+    const auto a = mp.step(s, zero);
+    const auto b = plain.step(s, zero);
+    EXPECT_EQ(a, b) << "step " << i;
+    s = a;
+  }
+}
+
+TEST(MultiPolyLfsr, SigmaInjectionMasksSelectorBits) {
+  MultiPolyLfsrTpg tpg(8);  // 2 selector bits
+  // sigma = selector bits only: no injection; with an extra high bit the
+  // results must differ by exactly that injected bit pattern.
+  const util::WideWord s(8, 0b00010000);
+  const auto no_inject = tpg.step(s, util::WideWord(8, 0b01));
+  const auto inject = tpg.step(s, util::WideWord(8, 0b01 | 0b10000000));
+  util::WideWord diff = no_inject;
+  diff.bxor(inject);
+  EXPECT_EQ(diff, util::WideWord(8, 0b10000000));
+}
+
+TEST(MultiPolyLfsr, CustomBankValidated) {
+  EXPECT_THROW(MultiPolyLfsrTpg(0), std::invalid_argument);
+  EXPECT_THROW(MultiPolyLfsrTpg(2, {{0}, {1}, {0, 1}, {0}, {1}}),
+               std::invalid_argument);  // 3 selector bits >= width 2
+  MultiPolyLfsrTpg ok(8, {{0, 20}});    // tap clamped to width-1
+  EXPECT_EQ(ok.num_polynomials(), 1u);
+  EXPECT_EQ(ok.selector_bits(), 0u);
+}
+
+}  // namespace
+}  // namespace fbist::tpg

@@ -1,0 +1,56 @@
+#include "util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace fbist::util {
+namespace {
+
+TEST(Parallel, WorkersAtLeastOne) {
+  EXPECT_GE(parallel_workers(), 1u);
+}
+
+TEST(Parallel, VisitsEveryIndexExactlyOnce) {
+  const std::size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(Parallel, ZeroIterationsIsNoop) {
+  bool called = false;
+  parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(Parallel, SmallNRunsSerial) {
+  std::vector<int> hits(5, 0);
+  parallel_for(5, [&](std::size_t i) { hits[i]++; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 5);
+}
+
+TEST(Parallel, WorkerIndexInRange) {
+  const std::size_t workers = parallel_workers();
+  std::atomic<bool> bad{false};
+  parallel_for_workers(5000, [&](std::size_t, std::size_t w) {
+    if (w >= workers) bad.store(true);
+  });
+  EXPECT_FALSE(bad.load());
+}
+
+TEST(Parallel, SumMatchesSerial) {
+  const std::size_t n = 4096;
+  std::atomic<long long> total{0};
+  parallel_for(n, [&](std::size_t i) {
+    total.fetch_add(static_cast<long long>(i));
+  });
+  EXPECT_EQ(total.load(), static_cast<long long>(n) * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace fbist::util

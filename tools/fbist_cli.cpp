@@ -1,0 +1,271 @@
+// fbist — command-line front end for the reseeding library.
+//
+// Subcommands:
+//   info <circuit|file.bench>                circuit + fault statistics
+//   atpg <circuit|file.bench>                run ATPG, print test set stats
+//   reseed <circuit|file.bench> [options]    compute optimal reseeding
+//       --tpg adder|subtracter|multiplier|lfsr   (default adder)
+//       --cycles N                               (default 64)
+//       --solver exact|greedy                    (default exact)
+//       --out FILE                               write the ROM image
+//   replay <circuit|file.bench> <rom-file>   reload a ROM image, expand it
+//                                            and re-verify fault coverage
+//   tradeoff <circuit|file.bench> [--tpg K]  print the T sweep curve
+//   gen <pi> <po> <gates> <seed>             emit a synthetic .bench to stdout
+//   list                                     registry circuit names
+//
+// Circuit arguments name either a registry benchmark (c432, s1238, ...)
+// or a path to an ISCAS .bench file (sequential files are scan-flattened).
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "atpg/scoap.h"
+#include "circuits/generator.h"
+#include "circuits/registry.h"
+#include "cover/greedy.h"
+#include "cover/instance_io.h"
+#include "netlist/bench_io.h"
+#include "netlist/stats.h"
+#include "reseed/pipeline.h"
+#include "reseed/report.h"
+#include "reseed/serialize.h"
+#include "reseed/tradeoff.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace fbist;
+
+int usage() {
+  std::cerr <<
+      "usage: fbist <command> [args]\n"
+      "  info <circuit>\n"
+      "  atpg <circuit>\n"
+      "  reseed <circuit> [--tpg K] [--cycles N] [--solver exact|greedy] [--out FILE]\n"
+      "  replay <circuit> <rom-file>\n"
+      "  tradeoff <circuit> [--tpg K]\n"
+      "  matrix <circuit> [--tpg K] [--cycles N] [--out FILE]\n"
+      "  solve <instance.scp> [--solver exact|greedy]\n"
+      "  gen <pi> <po> <gates> <seed>\n"
+      "  list\n"
+      "circuit = registry name (see 'list') or a .bench file path\n";
+  return 2;
+}
+
+bool is_bench_path(const std::string& arg) {
+  return arg.find(".bench") != std::string::npos || arg.find('/') != std::string::npos;
+}
+
+netlist::Netlist load_circuit(const std::string& arg) {
+  if (is_bench_path(arg)) return netlist::parse_bench_file(arg);
+  return circuits::make_circuit(arg);
+}
+
+tpg::TpgKind parse_tpg(const std::string& name) {
+  if (name == "adder") return tpg::TpgKind::kAdder;
+  if (name == "subtracter") return tpg::TpgKind::kSubtracter;
+  if (name == "multiplier") return tpg::TpgKind::kMultiplier;
+  if (name == "lfsr") return tpg::TpgKind::kLfsr;
+  throw std::runtime_error("unknown TPG kind: " + name);
+}
+
+struct Flags {
+  std::string tpg = "adder";
+  std::size_t cycles = 64;
+  std::string solver = "exact";
+  std::string out;
+};
+
+Flags parse_flags(const std::vector<std::string>& args, std::size_t from) {
+  Flags f;
+  for (std::size_t i = from; i < args.size(); ++i) {
+    auto need_value = [&](const char* flag) -> const std::string& {
+      if (i + 1 >= args.size()) {
+        throw std::runtime_error(std::string(flag) + " needs a value");
+      }
+      return args[++i];
+    };
+    if (args[i] == "--tpg") f.tpg = need_value("--tpg");
+    else if (args[i] == "--cycles") f.cycles = std::stoul(need_value("--cycles"));
+    else if (args[i] == "--solver") f.solver = need_value("--solver");
+    else if (args[i] == "--out") f.out = need_value("--out");
+    else throw std::runtime_error("unknown flag: " + args[i]);
+  }
+  return f;
+}
+
+int cmd_list() {
+  for (const auto& p : circuits::benchmark_profiles()) {
+    std::cout << p.name << "  (" << p.num_inputs << " PI, " << p.num_outputs
+              << " PO, ~" << p.num_gates << " gates"
+              << (p.sequential_origin ? ", full-scan" : "") << ")\n";
+  }
+  return 0;
+}
+
+int cmd_info(const std::string& arg) {
+  const auto nl = load_circuit(arg);
+  std::cout << netlist::stats_to_string(netlist::compute_stats(nl), arg);
+  const auto faults = fault::FaultList::collapsed(nl);
+  std::cout << "  collapsed stuck-at faults: " << faults.size() << "\n";
+  const auto scoap = atpg::compute_scoap(nl);
+  std::cout << "  " << atpg::scoap_summary(nl, scoap) << "\n";
+  // The five hardest faults (SCOAP proxy) — the ones random testing
+  // stalls on.
+  const auto order = atpg::hardest_first(scoap, faults);
+  std::cout << "  hardest faults:";
+  for (std::size_t i = 0; i < order.size() && i < 5; ++i) {
+    std::cout << " " << fault_name(nl, faults[order[i]]) << "(cost "
+              << scoap.fault_difficulty(faults[order[i]]) << ")";
+  }
+  std::cout << "\n";
+  return 0;
+}
+
+int cmd_atpg(const std::string& arg) {
+  reseed::Pipeline p(load_circuit(arg), arg);
+  const auto& r = p.atpg_result();
+  std::cout << arg << ": " << p.atpg_patterns().size() << " patterns ("
+            << r.random_patterns_used << " random-phase, "
+            << r.deterministic_patterns << " PODEM)\n"
+            << "  testable coverage: "
+            << util::Table::fmt(r.testable_coverage_percent(), 2) << "%\n"
+            << "  redundant faults: " << r.redundant_faults
+            << ", aborted: " << r.aborted_faults << "\n";
+  return 0;
+}
+
+int cmd_reseed(const std::string& arg, const Flags& f) {
+  reseed::PipelineOptions opts;
+  opts.optimizer.solver = f.solver == "greedy" ? reseed::SolverChoice::kGreedy
+                                               : reseed::SolverChoice::kExact;
+  reseed::Pipeline p(load_circuit(arg), arg, opts);
+  const auto sol = p.run(parse_tpg(f.tpg), f.cycles);
+  std::cout << reseed::solution_to_string(
+      sol, arg + " / " + f.tpg + " TPG / T=" + std::to_string(f.cycles) + ":");
+  if (!f.out.empty()) {
+    const auto rom = reseed::to_rom_image(sol, arg, f.tpg,
+                                          p.circuit().num_inputs());
+    reseed::write_rom_file(rom, f.out);
+    std::cout << "ROM image written to " << f.out << " (" << rom.rom_bits()
+              << " bits)\n";
+  }
+  return sol.faults_covered == sol.faults_targeted ? 0 : 1;
+}
+
+int cmd_replay(const std::string& arg, const std::string& rom_path) {
+  const auto rom = reseed::read_rom_file(rom_path);
+  reseed::Pipeline p(load_circuit(arg), arg);
+  if (rom.width != p.circuit().num_inputs()) {
+    std::cerr << "ROM width " << rom.width << " != circuit PI count "
+              << p.circuit().num_inputs() << "\n";
+    return 1;
+  }
+  const auto tpg = tpg::make_tpg(parse_tpg(rom.tpg_name), rom.width);
+  sim::PatternSet all(rom.width, 0);
+  for (const auto& t : rom.triplets) {
+    all.append_all(tpg::expand_triplet(*tpg, t));
+  }
+  const auto r = p.fault_sim().run(all);
+  std::cout << "replayed " << rom.triplets.size() << " triplets ("
+            << all.size() << " patterns): " << r.num_detected() << "/"
+            << p.faults().size() << " target faults detected ("
+            << util::Table::fmt(r.coverage_percent(p.faults().size()), 2)
+            << "%)\n";
+  return r.num_detected() == p.faults().size() ? 0 : 1;
+}
+
+int cmd_tradeoff(const std::string& arg, const Flags& f) {
+  reseed::Pipeline p(load_circuit(arg), arg);
+  const auto tpg = tpg::make_tpg(parse_tpg(f.tpg), p.circuit().num_inputs());
+  reseed::TradeoffOptions topts;
+  topts.cycle_values = {1, 4, 16, 64, 256, 1024};
+  topts.builder.shared_sigma = true;
+  const auto points =
+      reseed::tradeoff_sweep(p.fault_sim(), *tpg, p.atpg_patterns(), topts);
+  util::Table table(arg + " trade-off (" + f.tpg + ")");
+  table.set_header({"T", "#reseedings", "test length"});
+  for (const auto& pt : points) {
+    table.add_row({std::to_string(pt.cycles_per_triplet),
+                   std::to_string(pt.num_triplets),
+                   std::to_string(pt.test_length)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_matrix(const std::string& arg, const Flags& f) {
+  reseed::Pipeline p(load_circuit(arg), arg);
+  const auto [init, sol] = p.run_detailed(parse_tpg(f.tpg), f.cycles);
+  (void)sol;
+  if (f.out.empty()) {
+    cover::write_instance(init.matrix, std::cout);
+  } else {
+    cover::write_instance_file(init.matrix, f.out);
+    std::cout << "detection matrix (" << init.matrix.num_rows() << "x"
+              << init.matrix.num_cols() << ") written to " << f.out << "\n";
+  }
+  return 0;
+}
+
+int cmd_solve(const std::string& path, const Flags& f) {
+  const auto m = cover::read_instance_file(path);
+  if (!m.all_columns_coverable()) {
+    std::cerr << "instance has uncoverable columns\n";
+    return 1;
+  }
+  if (f.solver == "greedy") {
+    const auto s = cover::solve_greedy(m);
+    std::cout << "greedy cover: " << s.rows.size() << " rows\n";
+  } else {
+    const auto s = cover::solve_exact(m);
+    std::cout << "exact cover: " << s.rows.size() << " rows ("
+              << s.nodes << " nodes, "
+              << (s.proven_optimal ? "optimal" : "budget-limited") << ")\nrows:";
+    for (const auto r : s.rows) std::cout << ' ' << r;
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+int cmd_gen(const std::vector<std::string>& args) {
+  if (args.size() < 6) return usage();
+  circuits::GeneratorSpec spec;
+  spec.num_inputs = std::stoul(args[2]);
+  spec.num_outputs = std::stoul(args[3]);
+  spec.num_gates = std::stoul(args[4]);
+  spec.seed = std::stoull(args[5]);
+  spec.layers = 8 + spec.num_gates / 150;
+  netlist::write_bench(circuits::generate(spec), std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv, argv + argc);
+  if (args.size() < 2) return usage();
+  const std::string& cmd = args[1];
+  try {
+    if (cmd == "list") return cmd_list();
+    if (cmd == "gen") return cmd_gen(args);
+    if (args.size() < 3) return usage();
+    const std::string& circuit = args[2];
+    if (cmd == "info") return cmd_info(circuit);
+    if (cmd == "atpg") return cmd_atpg(circuit);
+    if (cmd == "reseed") return cmd_reseed(circuit, parse_flags(args, 3));
+    if (cmd == "replay") {
+      if (args.size() < 4) return usage();
+      return cmd_replay(circuit, args[3]);
+    }
+    if (cmd == "tradeoff") return cmd_tradeoff(circuit, parse_flags(args, 3));
+    if (cmd == "matrix") return cmd_matrix(circuit, parse_flags(args, 3));
+    if (cmd == "solve") return cmd_solve(circuit, parse_flags(args, 3));
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "fbist: " << e.what() << "\n";
+    return 1;
+  }
+}
