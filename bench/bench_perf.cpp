@@ -3,6 +3,12 @@
 // Not a paper table: these quantify the throughput of the building
 // blocks that make the table benches affordable — the 64-way parallel
 // fault simulator, the matrix reduction and the exact solver.
+//
+// The BM_*Reference variants run the retained seed implementations
+// (sim/reference_sim.h: per-gate Netlist walk + ConeIndex) on the same
+// inputs, so the compiled-core speedup can be read off one run as
+// items_per_second(BM_FaultSim) / items_per_second(BM_FaultSimReference)
+// — within-run ratios are robust against background load.
 #include <benchmark/benchmark.h>
 
 #include "atpg/engine.h"
@@ -14,6 +20,7 @@
 #include "cover/greedy.h"
 #include "cover/reduce.h"
 #include "sim/fault_sim.h"
+#include "sim/reference_sim.h"
 #include "util/rng.h"
 
 namespace {
@@ -33,21 +40,69 @@ void BM_LogicSim(benchmark::State& state) {
 }
 BENCHMARK(BM_LogicSim)->Unit(benchmark::kMicrosecond);
 
-void BM_FaultSim(benchmark::State& state) {
+void BM_LogicSimReference(benchmark::State& state) {
   const auto nl = circuits::make_circuit("c880");
+  sim::ReferenceLogicSim sim(nl);
+  util::Rng rng(1);
+  const auto ps = sim::PatternSet::random(nl.num_inputs(), 1024, rng);
+  for (auto _ : state) {
+    auto blocks = sim.simulate(ps);
+    benchmark::DoNotOptimize(blocks);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_LogicSimReference)->Unit(benchmark::kMicrosecond);
+
+void run_fault_sim_bench(benchmark::State& state, const std::string& circuit,
+                         bool reference) {
+  const auto nl = circuits::make_circuit(circuit);
   const auto fl = fault::FaultList::collapsed(nl);
-  sim::FaultSim fsim(nl, fl);
   util::Rng rng(2);
   const auto ps = sim::PatternSet::random(
       nl.num_inputs(), static_cast<std::size_t>(state.range(0)), rng);
-  for (auto _ : state) {
-    auto r = fsim.run(ps);
-    benchmark::DoNotOptimize(r);
+  if (reference) {
+    sim::ReferenceFaultSim fsim(nl, fl);
+    for (auto _ : state) {
+      auto r = fsim.run(ps);
+      benchmark::DoNotOptimize(r);
+    }
+  } else {
+    sim::FaultSim fsim(nl, fl);
+    for (auto _ : state) {
+      auto r = fsim.run(ps);
+      benchmark::DoNotOptimize(r);
+    }
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           state.range(0) * static_cast<std::int64_t>(fl.size()));
 }
-BENCHMARK(BM_FaultSim)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_FaultSim(benchmark::State& state) {
+  run_fault_sim_bench(state, "c880", /*reference=*/false);
+}
+BENCHMARK(BM_FaultSim)->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+void BM_FaultSimReference(benchmark::State& state) {
+  run_fault_sim_bench(state, "c880", /*reference=*/true);
+}
+BENCHMARK(BM_FaultSimReference)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FaultSimLarge(benchmark::State& state) {
+  run_fault_sim_bench(state, "s9234", /*reference=*/false);
+}
+BENCHMARK(BM_FaultSimLarge)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+void BM_FaultSimLargeReference(benchmark::State& state) {
+  run_fault_sim_bench(state, "s9234", /*reference=*/true);
+}
+BENCHMARK(BM_FaultSimLargeReference)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
 
 cover::DetectionMatrix random_matrix(std::size_t R, std::size_t C,
                                      double density, std::uint64_t seed) {

@@ -20,10 +20,17 @@ double AtpgResult::testable_coverage_percent() const {
 
 AtpgResult run_atpg(const netlist::Netlist& nl, const fault::FaultList& faults,
                     const AtpgOptions& opts) {
+  return run_atpg(nl, faults, opts,
+                  std::make_shared<netlist::CompiledCircuit>(nl));
+}
+
+AtpgResult run_atpg(const netlist::Netlist& nl, const fault::FaultList& faults,
+                    const AtpgOptions& opts,
+                    std::shared_ptr<const netlist::CompiledCircuit> compiled) {
   AtpgResult result;
   result.verdict.assign(faults.size(), FaultVerdict::kAborted);
 
-  sim::FaultSim fsim(nl, faults);
+  sim::FaultSim fsim(nl, faults, compiled);
   util::Rng rng(opts.seed);
 
   std::vector<bool> remaining(faults.size(), true);
@@ -59,7 +66,7 @@ AtpgResult run_atpg(const netlist::Netlist& nl, const fault::FaultList& faults,
   result.random_patterns_used = pool.size();
 
   // ---- Phase 2: PODEM on remaining faults -----------------------------
-  Podem podem(nl, opts.podem);
+  Podem podem(nl, compiled, opts.podem);
   if (opts.static_cube_compaction) {
     // COMPACTEST-style strategy: generate cubes for every remaining
     // fault first, merge compatible cubes, then X-fill and simulate the

@@ -14,10 +14,12 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "atpg/podem.h"
 #include "fault/fault.h"
+#include "netlist/compiled.h"
 #include "sim/fault_sim.h"
 #include "sim/pattern.h"
 #include "util/rng.h"
@@ -56,8 +58,16 @@ struct AtpgResult {
   double testable_coverage_percent() const;
 };
 
-/// Runs the full ATPG flow for `faults` on `nl`.
+/// Runs the full ATPG flow for `faults` on `nl`.  Compiles the circuit
+/// once internally; fault simulator and PODEM share the compiled form.
 AtpgResult run_atpg(const netlist::Netlist& nl, const fault::FaultList& faults,
                     const AtpgOptions& opts = {});
+
+/// Like above, but shares a caller-provided compiled circuit (must
+/// describe `nl`) — used by reseed::Pipeline, which compiles once per
+/// circuit for ATPG, fault simulation, and every TPG evaluation.
+AtpgResult run_atpg(const netlist::Netlist& nl, const fault::FaultList& faults,
+                    const AtpgOptions& opts,
+                    std::shared_ptr<const netlist::CompiledCircuit> compiled);
 
 }  // namespace fbist::atpg

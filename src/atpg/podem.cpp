@@ -3,11 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
-#include "netlist/cone.h"
-#include "netlist/levelize.h"
-
 namespace fbist::atpg {
 
+using netlist::CompiledCircuit;
 using netlist::GateType;
 using netlist::NetId;
 
@@ -21,35 +19,41 @@ std::uint8_t sat_add(std::uint8_t a, std::uint8_t b) {
 }  // namespace
 
 Podem::Podem(const netlist::Netlist& nl, PodemOptions opts)
-    : nl_(nl), opts_(opts), level_(netlist::levelize(nl)) {
+    : Podem(nl, std::make_shared<CompiledCircuit>(nl), std::move(opts)) {}
+
+Podem::Podem(const netlist::Netlist& nl,
+             std::shared_ptr<const CompiledCircuit> compiled, PodemOptions opts)
+    : cc_(std::move(compiled)), opts_(opts) {
+  (void)nl;
   // SCOAP-flavoured controllability: cost of setting each net to 0/1.
   // Saturated small integers are plenty for backtrace tie-breaking.
-  const std::size_t n = nl_.num_nets();
+  const CompiledCircuit& cc = *cc_;
+  const std::size_t n = cc.num_nets();
   cc0_.assign(n, 0);
   cc1_.assign(n, 0);
   for (NetId id = 0; id < n; ++id) {
-    const auto& g = nl_.gate(id);
-    switch (g.type) {
+    const auto fin = cc.fanin(id);
+    switch (cc.type(id)) {
       case GateType::kInput:
         cc0_[id] = cc1_[id] = 1;
         break;
       case GateType::kBuf:
-        cc0_[id] = sat_add(cc0_[g.fanin[0]], 1);
-        cc1_[id] = sat_add(cc1_[g.fanin[0]], 1);
+        cc0_[id] = sat_add(cc0_[fin[0]], 1);
+        cc1_[id] = sat_add(cc1_[fin[0]], 1);
         break;
       case GateType::kNot:
-        cc0_[id] = sat_add(cc1_[g.fanin[0]], 1);
-        cc1_[id] = sat_add(cc0_[g.fanin[0]], 1);
+        cc0_[id] = sat_add(cc1_[fin[0]], 1);
+        cc1_[id] = sat_add(cc0_[fin[0]], 1);
         break;
       case GateType::kAnd:
       case GateType::kNand: {
         std::uint8_t all1 = 1, min0 = 250;
-        for (const NetId f : g.fanin) {
+        for (const NetId f : fin) {
           all1 = sat_add(all1, cc1_[f]);
           min0 = std::min(min0, cc0_[f]);
         }
         const std::uint8_t out0 = sat_add(min0, 1);
-        if (g.type == GateType::kAnd) {
+        if (cc.type(id) == GateType::kAnd) {
           cc0_[id] = out0;
           cc1_[id] = all1;
         } else {
@@ -61,12 +65,12 @@ Podem::Podem(const netlist::Netlist& nl, PodemOptions opts)
       case GateType::kOr:
       case GateType::kNor: {
         std::uint8_t all0 = 1, min1 = 250;
-        for (const NetId f : g.fanin) {
+        for (const NetId f : fin) {
           all0 = sat_add(all0, cc0_[f]);
           min1 = std::min(min1, cc1_[f]);
         }
         const std::uint8_t out1 = sat_add(min1, 1);
-        if (g.type == GateType::kOr) {
+        if (cc.type(id) == GateType::kOr) {
           cc1_[id] = out1;
           cc0_[id] = all0;
         } else {
@@ -79,7 +83,7 @@ Podem::Podem(const netlist::Netlist& nl, PodemOptions opts)
       case GateType::kXnor: {
         // Approximate: either parity costs roughly the sum of cheaper sides.
         std::uint8_t acc = 1;
-        for (const NetId f : g.fanin) {
+        for (const NetId f : fin) {
           acc = sat_add(acc, std::min(cc0_[f], cc1_[f]));
         }
         cc0_[id] = cc1_[id] = acc;
@@ -90,21 +94,21 @@ Podem::Podem(const netlist::Netlist& nl, PodemOptions opts)
 }
 
 void Podem::imply_all(const fault::Fault& f) {
-  // Full forward pass in topological order; fault site override.
+  // Full forward pass over the compiled schedule; fault site override.
+  // Pinning before the walk is correct for a PI site, and pinning right
+  // after evaluating the site gate is correct otherwise — either way
+  // every reader sees the pinned faulty value (topological order).
+  const CompiledCircuit& cc = *cc_;
+  const Tern pinned = f.stuck_value ? Tern::k1 : Tern::k0;
+  if (cc.type(f.net) == GateType::kInput) value_[f.net].faulty = pinned;
+
   std::vector<Val5> fanin_buf;
-  for (NetId id = 0; id < nl_.num_nets(); ++id) {
-    const auto& g = nl_.gate(id);
-    if (g.type != GateType::kInput) {
-      fanin_buf.resize(g.fanin.size());
-      for (std::size_t i = 0; i < g.fanin.size(); ++i) {
-        fanin_buf[i] = value_[g.fanin[i]];
-      }
-      value_[id] = eval_gate5(g.type, fanin_buf.data(), fanin_buf.size());
-    }
-    if (id == f.net) {
-      // Faulty side of the fault site is pinned to the stuck value.
-      value_[id].faulty = f.stuck_value ? Tern::k1 : Tern::k0;
-    }
+  for (const NetId id : cc.schedule()) {
+    const auto fin = cc.fanin(id);
+    fanin_buf.resize(fin.size());
+    for (std::size_t i = 0; i < fin.size(); ++i) fanin_buf[i] = value_[fin[i]];
+    value_[id] = eval_gate5(cc.type(id), fanin_buf.data(), fanin_buf.size());
+    if (id == f.net) value_[id].faulty = pinned;
   }
 }
 
@@ -115,7 +119,7 @@ bool Podem::fault_activated(const fault::Fault& f) const {
 }
 
 bool Podem::d_at_output() const {
-  for (const NetId o : nl_.outputs()) {
+  for (const NetId o : cc_->outputs()) {
     if (value_[o].is_d_or_dbar()) return true;
   }
   return false;
@@ -127,10 +131,10 @@ bool Podem::d_frontier_nonempty(const fault::Fault& f) const {
   // still possible).  D values only exist inside the fanout cone.
   const Val5& site = value_[f.net];
   if (site.good == Tern::kX) return true;
-  const auto& fanouts = nl_.fanouts();
+  const CompiledCircuit& cc = *cc_;
   for (const NetId id : cone_nets_) {
     if (!value_[id].is_d_or_dbar()) continue;
-    for (const NetId reader : fanouts[id]) {
+    for (const NetId reader : cc.fanout(id)) {
       if (value_[reader].good == Tern::kX || value_[reader].faulty == Tern::kX) {
         return true;
       }
@@ -149,35 +153,35 @@ std::optional<std::pair<NetId, Tern>> Podem::objective(const fault::Fault& f) co
   if (!fault_activated(f)) return std::nullopt;  // good value fixed wrong
 
   // Objective 2: advance the D-frontier gate closest to an output.
-  const auto& fanouts = nl_.fanouts();
+  const CompiledCircuit& cc = *cc_;
   NetId best_gate = netlist::kNullNet;
-  std::size_t best_level = 0;
+  std::uint32_t best_level = 0;
   for (const NetId id : cone_nets_) {
     if (!value_[id].is_d_or_dbar()) continue;
-    for (const NetId reader : fanouts[id]) {
+    for (const NetId reader : cc.fanout(id)) {
       const Val5& rv = value_[reader];
       if (rv.good != Tern::kX && rv.faulty != Tern::kX) continue;
-      if (best_gate == netlist::kNullNet || level_[reader] > best_level) {
+      if (best_gate == netlist::kNullNet || cc.level(reader) > best_level) {
         best_gate = reader;
-        best_level = level_[reader];
+        best_level = cc.level(reader);
       }
     }
   }
   if (best_gate == netlist::kNullNet) return std::nullopt;
 
   // Set one X fanin of the frontier gate to the non-controlling value.
-  const auto& g = nl_.gate(best_gate);
+  const GateType gt = cc.type(best_gate);
   Tern want;
-  if (netlist::has_controlling_value(g.type)) {
-    want = netlist::controlling_value(g.type) ? Tern::k0 : Tern::k1;
+  if (netlist::has_controlling_value(gt)) {
+    want = netlist::controlling_value(gt) ? Tern::k0 : Tern::k1;
   } else {
     // XOR/XNOR/NOT/BUF: any definite value propagates; aim for the
     // cheaper side of the first X fanin.
     want = Tern::k0;
   }
-  for (const NetId fin : g.fanin) {
+  for (const NetId fin : cc.fanin(best_gate)) {
     if (value_[fin].is_x()) {
-      if (!netlist::has_controlling_value(g.type)) {
+      if (!netlist::has_controlling_value(gt)) {
         want = cc0_[fin] <= cc1_[fin] ? Tern::k0 : Tern::k1;
       }
       return std::make_pair(fin, want);
@@ -190,26 +194,28 @@ std::pair<NetId, Tern> Podem::backtrace(NetId net, Tern value) const {
   // Walk from the objective toward a PI, choosing at each gate the
   // easiest fanin per controllability, flipping the target value through
   // inversions.
+  const CompiledCircuit& cc = *cc_;
   NetId cur = net;
   Tern want = value;
-  while (nl_.gate(cur).type != GateType::kInput) {
-    const auto& g = nl_.gate(cur);
-    const bool inv = netlist::is_inverting(g.type);
+  while (cc.type(cur) != GateType::kInput) {
+    const GateType gt = cc.type(cur);
+    const auto fin = cc.fanin(cur);
+    const bool inv = netlist::is_inverting(gt);
     Tern child_want = want;
-    if (g.type == GateType::kNot || g.type == GateType::kBuf) {
+    if (gt == GateType::kNot || gt == GateType::kBuf) {
       child_want = inv ? tern_not(want) : want;
-      cur = g.fanin[0];
+      cur = fin[0];
       want = child_want;
       continue;
     }
-    if (g.type == GateType::kXor || g.type == GateType::kXnor) {
+    if (gt == GateType::kXor || gt == GateType::kXnor) {
       // Pick the first X fanin; required value depends on the others,
       // which may be X — aim for the cheaper side (heuristic only; the
       // implication pass validates).
-      NetId pick = g.fanin[0];
-      for (const NetId fin : g.fanin) {
-        if (value_[fin].is_x()) {
-          pick = fin;
+      NetId pick = fin[0];
+      for (const NetId fi : fin) {
+        if (value_[fi].is_x()) {
+          pick = fi;
           break;
         }
       }
@@ -219,31 +225,30 @@ std::pair<NetId, Tern> Podem::backtrace(NetId net, Tern value) const {
     }
     // AND/NAND/OR/NOR.
     const Tern base_want = inv ? tern_not(want) : want;  // want at gate "core"
-    const bool need_all = (g.type == GateType::kAnd || g.type == GateType::kNand)
+    const bool need_all = (gt == GateType::kAnd || gt == GateType::kNand)
                               ? base_want == Tern::k1
                               : base_want == Tern::k0;
     // need_all: every fanin must take the non-controlling value -> pick
     // the *hardest* X fanin first (fail fast).  Otherwise one fanin at
     // the controlling value suffices -> pick the easiest.
-    const Tern child =
-        (g.type == GateType::kAnd || g.type == GateType::kNand)
-            ? (need_all ? Tern::k1 : Tern::k0)
-            : (need_all ? Tern::k0 : Tern::k1);
+    const Tern child = (gt == GateType::kAnd || gt == GateType::kNand)
+                           ? (need_all ? Tern::k1 : Tern::k0)
+                           : (need_all ? Tern::k0 : Tern::k1);
     NetId pick = netlist::kNullNet;
     std::uint8_t best_cost = 0;
-    for (const NetId fin : g.fanin) {
-      if (!value_[fin].is_x()) continue;
-      const std::uint8_t cost = child == Tern::k0 ? cc0_[fin] : cc1_[fin];
+    for (const NetId fi : fin) {
+      if (!value_[fi].is_x()) continue;
+      const std::uint8_t cost = child == Tern::k0 ? cc0_[fi] : cc1_[fi];
       if (pick == netlist::kNullNet ||
           (need_all ? cost > best_cost : cost < best_cost)) {
-        pick = fin;
+        pick = fi;
         best_cost = cost;
       }
     }
     if (pick == netlist::kNullNet) {
       // No X fanin left; fall back to first fanin (implication will
       // surface the conflict).
-      pick = g.fanin[0];
+      pick = fin[0];
     }
     cur = pick;
     want = child;
@@ -258,17 +263,19 @@ struct Podem::Frame {
 };
 
 PodemResult Podem::generate(const fault::Fault& f) {
+  const CompiledCircuit& cc = *cc_;
   PodemResult result;
-  result.pattern = util::WideWord(nl_.num_inputs());
-  result.care = util::WideWord(nl_.num_inputs());
+  result.pattern = util::WideWord(cc.num_inputs());
+  result.care = util::WideWord(cc.num_inputs());
 
-  const netlist::Cone cone = netlist::fanout_cone(nl_, f.net);
+  // Precompiled cone slice — the seed recomputed this BFS per fault.
+  const auto cone = cc.cone_gates(f.net);
   cone_nets_.clear();
-  cone_nets_.reserve(cone.gates.size() + 1);
+  cone_nets_.reserve(cone.size() + 1);
   cone_nets_.push_back(f.net);
-  cone_nets_.insert(cone_nets_.end(), cone.gates.begin(), cone.gates.end());
+  cone_nets_.insert(cone_nets_.end(), cone.begin(), cone.end());
 
-  value_.assign(nl_.num_nets(), kVX);
+  value_.assign(cc.num_nets(), kVX);
   imply_all(f);
 
   std::vector<Frame> stack;
@@ -281,7 +288,7 @@ PodemResult Podem::generate(const fault::Fault& f) {
     if (fault_activated(f) && d_at_output()) {
       result.status = PodemStatus::kTestFound;
       for (const auto& fr : stack) {
-        const std::size_t idx = nl_.input_index(fr.pi);
+        const std::size_t idx = cc.input_index(fr.pi);
         result.pattern.set_bit(idx, fr.value == Tern::k1);
         result.care.set_bit(idx, true);
       }
@@ -319,7 +326,7 @@ PodemResult Podem::generate(const fault::Fault& f) {
           return result;
         }
         // Re-imply from scratch with the flipped decision.
-        value_.assign(nl_.num_nets(), kVX);
+        value_.assign(cc.num_nets(), kVX);
         for (const auto& fr : stack) {
           value_[fr.pi] = fr.value == Tern::k1 ? kV1 : kV0;
         }
@@ -328,7 +335,7 @@ PodemResult Podem::generate(const fault::Fault& f) {
         break;
       }
       stack.pop_back();
-      value_.assign(nl_.num_nets(), kVX);
+      value_.assign(cc.num_nets(), kVX);
       for (const auto& fr : stack) {
         value_[fr.pi] = fr.value == Tern::k1 ? kV1 : kV0;
       }

@@ -7,14 +7,21 @@
 // by a controllability-guided backtrace.  A backtrack limit bounds the
 // search; exhausting the search space proves the fault untestable
 // (combinationally redundant).
+//
+// Structure access (implication schedule, fanout scans, per-fault cone
+// slices, levels) goes through a netlist::CompiledCircuit, which the
+// engine shares with the fault simulator instead of re-deriving
+// levels/cones per Podem instance.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "atpg/values.h"
 #include "fault/fault.h"
+#include "netlist/compiled.h"
 #include "netlist/netlist.h"
 #include "util/wideword.h"
 
@@ -48,7 +55,12 @@ struct PodemOptions {
 /// PODEM engine bound to one netlist (reused across faults).
 class Podem {
  public:
+  /// Compiles the netlist privately.
   explicit Podem(const netlist::Netlist& nl, PodemOptions opts = {});
+  /// Shares an existing compiled form (must describe `nl`).
+  Podem(const netlist::Netlist& nl,
+        std::shared_ptr<const netlist::CompiledCircuit> compiled,
+        PodemOptions opts = {});
 
   /// Attempts to generate a test for `f`.
   PodemResult generate(const fault::Fault& f);
@@ -65,10 +77,9 @@ class Podem {
   /// Maps an objective to a PI and value via controllability backtrace.
   std::pair<netlist::NetId, Tern> backtrace(netlist::NetId net, Tern value) const;
 
-  const netlist::Netlist& nl_;
+  std::shared_ptr<const netlist::CompiledCircuit> cc_;
   PodemOptions opts_;
   std::vector<Val5> value_;              // per net
-  std::vector<std::size_t> level_;       // per net logic level
   std::vector<std::uint8_t> cc0_, cc1_;  // SCOAP-ish controllability (saturated)
   /// D/D' values only ever exist inside the fault's fanout cone, so the
   /// frontier scans walk this list ({fault net} ∪ cone gates) instead of

@@ -6,6 +6,7 @@
 
 namespace fbist::atpg {
 
+using netlist::CompiledCircuit;
 using netlist::GateType;
 using netlist::Netlist;
 using netlist::NetId;
@@ -19,8 +20,8 @@ ScoapCost sat_add(ScoapCost a, ScoapCost b) {
 
 }  // namespace
 
-ScoapAnalysis compute_scoap(const Netlist& nl) {
-  const std::size_t n = nl.num_nets();
+ScoapAnalysis compute_scoap(const CompiledCircuit& cc) {
+  const std::size_t n = cc.num_nets();
   ScoapAnalysis s;
   s.cc0.assign(n, kScoapInf);
   s.cc1.assign(n, kScoapInf);
@@ -28,29 +29,29 @@ ScoapAnalysis compute_scoap(const Netlist& nl) {
 
   // --- Controllability: forward pass in topological order --------------
   for (NetId id = 0; id < n; ++id) {
-    const auto& g = nl.gate(id);
-    switch (g.type) {
+    const auto fin = cc.fanin(id);
+    switch (cc.type(id)) {
       case GateType::kInput:
         s.cc0[id] = s.cc1[id] = 1;
         break;
       case GateType::kBuf:
-        s.cc0[id] = sat_add(s.cc0[g.fanin[0]], 1);
-        s.cc1[id] = sat_add(s.cc1[g.fanin[0]], 1);
+        s.cc0[id] = sat_add(s.cc0[fin[0]], 1);
+        s.cc1[id] = sat_add(s.cc1[fin[0]], 1);
         break;
       case GateType::kNot:
-        s.cc0[id] = sat_add(s.cc1[g.fanin[0]], 1);
-        s.cc1[id] = sat_add(s.cc0[g.fanin[0]], 1);
+        s.cc0[id] = sat_add(s.cc1[fin[0]], 1);
+        s.cc1[id] = sat_add(s.cc0[fin[0]], 1);
         break;
       case GateType::kAnd:
       case GateType::kNand: {
         // Output 1 needs all fanins 1; output 0 needs the cheapest 0.
         ScoapCost all1 = 1, min0 = kScoapInf;
-        for (const NetId f : g.fanin) {
+        for (const NetId f : fin) {
           all1 = sat_add(all1, s.cc1[f]);
           min0 = std::min(min0, s.cc0[f]);
         }
         const ScoapCost out0 = sat_add(min0, 1);
-        if (g.type == GateType::kAnd) {
+        if (cc.type(id) == GateType::kAnd) {
           s.cc0[id] = out0;
           s.cc1[id] = all1;
         } else {
@@ -62,12 +63,12 @@ ScoapAnalysis compute_scoap(const Netlist& nl) {
       case GateType::kOr:
       case GateType::kNor: {
         ScoapCost all0 = 1, min1 = kScoapInf;
-        for (const NetId f : g.fanin) {
+        for (const NetId f : fin) {
           all0 = sat_add(all0, s.cc0[f]);
           min1 = std::min(min1, s.cc1[f]);
         }
         const ScoapCost out1 = sat_add(min1, 1);
-        if (g.type == GateType::kOr) {
+        if (cc.type(id) == GateType::kOr) {
           s.cc1[id] = out1;
           s.cc0[id] = all0;
         } else {
@@ -82,11 +83,11 @@ ScoapAnalysis compute_scoap(const Netlist& nl) {
         // standard 2-input recurrence applied left-to-right:
         // cc0(a^b) = min(cc0a+cc0b, cc1a+cc1b)+1,
         // cc1(a^b) = min(cc0a+cc1b, cc1a+cc0b)+1.
-        ScoapCost c0 = s.cc0[g.fanin[0]];
-        ScoapCost c1 = s.cc1[g.fanin[0]];
-        for (std::size_t i = 1; i < g.fanin.size(); ++i) {
-          const ScoapCost b0 = s.cc0[g.fanin[i]];
-          const ScoapCost b1 = s.cc1[g.fanin[i]];
+        ScoapCost c0 = s.cc0[fin[0]];
+        ScoapCost c1 = s.cc1[fin[0]];
+        for (std::size_t i = 1; i < fin.size(); ++i) {
+          const ScoapCost b0 = s.cc0[fin[i]];
+          const ScoapCost b1 = s.cc1[fin[i]];
           const ScoapCost n0 =
               sat_add(std::min(sat_add(c0, b0), sat_add(c1, b1)), 1);
           const ScoapCost n1 =
@@ -94,7 +95,7 @@ ScoapAnalysis compute_scoap(const Netlist& nl) {
           c0 = n0;
           c1 = n1;
         }
-        if (g.type == GateType::kXor) {
+        if (cc.type(id) == GateType::kXor) {
           s.cc0[id] = c0;
           s.cc1[id] = c1;
         } else {
@@ -107,17 +108,14 @@ ScoapAnalysis compute_scoap(const Netlist& nl) {
   }
 
   // --- Observability: backward pass -------------------------------------
-  for (const NetId o : nl.outputs()) s.co[o] = 0;
-  for (NetId id = n; id-- > 0;) {
+  for (const NetId o : cc.outputs()) s.co[o] = 0;
+  for (NetId id = static_cast<NetId>(n); id-- > 0;) {
     // Propagate from each reader gate to this net (fanout branch
-    // observability = min over readers).
-    // Walk readers via the fanout index.
-    const auto& readers = nl.fanouts()[id];
-    for (const NetId r : readers) {
-      const auto& g = nl.gate(r);
+    // observability = min over readers), via the CSR fanout slice.
+    for (const NetId r : cc.fanout(id)) {
       if (s.co[r] >= kScoapInf) continue;
       ScoapCost side_cost = 0;
-      switch (g.type) {
+      switch (cc.type(r)) {
         case GateType::kBuf:
         case GateType::kNot:
           side_cost = 0;
@@ -125,20 +123,20 @@ ScoapAnalysis compute_scoap(const Netlist& nl) {
         case GateType::kAnd:
         case GateType::kNand:
           // All *other* fanins at non-controlling 1.
-          for (const NetId f : g.fanin) {
+          for (const NetId f : cc.fanin(r)) {
             if (f != id) side_cost = sat_add(side_cost, s.cc1[f]);
           }
           break;
         case GateType::kOr:
         case GateType::kNor:
-          for (const NetId f : g.fanin) {
+          for (const NetId f : cc.fanin(r)) {
             if (f != id) side_cost = sat_add(side_cost, s.cc0[f]);
           }
           break;
         case GateType::kXor:
         case GateType::kXnor:
           // Any definite value on the others; take the cheaper side.
-          for (const NetId f : g.fanin) {
+          for (const NetId f : cc.fanin(r)) {
             if (f != id) side_cost = sat_add(side_cost, std::min(s.cc0[f], s.cc1[f]));
           }
           break;
@@ -150,6 +148,11 @@ ScoapAnalysis compute_scoap(const Netlist& nl) {
     }
   }
   return s;
+}
+
+ScoapAnalysis compute_scoap(const Netlist& nl) {
+  // SCOAP only streams fanin/fanout/types; skip the cone-slice build.
+  return compute_scoap(CompiledCircuit(nl, /*build_cone_slices=*/false));
 }
 
 std::vector<std::size_t> hardest_first(const ScoapAnalysis& scoap,

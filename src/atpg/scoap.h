@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "fault/fault.h"
+#include "netlist/compiled.h"
 #include "netlist/netlist.h"
 
 namespace fbist::atpg {
@@ -43,7 +44,11 @@ struct ScoapAnalysis {
   }
 };
 
-/// Computes all three measures for `nl`.
+/// Computes all three measures over a compiled circuit (the hot path —
+/// forward/backward passes over flat CSR arrays).
+ScoapAnalysis compute_scoap(const netlist::CompiledCircuit& cc);
+
+/// Convenience overload: compiles `nl` once and delegates.
 ScoapAnalysis compute_scoap(const netlist::Netlist& nl);
 
 /// Fault ids of `faults` sorted hardest-first by fault_difficulty —

@@ -130,10 +130,16 @@ Netlist parse_bench(std::istream& in) {
         fanin.push_back(id);
       }
       if (!ready) continue;
-      GateType type = gate_type_from_name(g.type);
+      GateType type;
+      try {
+        type = gate_type_from_name(g.type);
+      } catch (const std::runtime_error&) {
+        fail(g.line_no, "unknown gate type '" + g.type + "' driving net " + g.out);
+      }
       if (type == GateType::kInput) fail(g.line_no, "INPUT used as gate type");
       if ((type == GateType::kBuf || type == GateType::kNot) && fanin.size() != 1) {
-        fail(g.line_no, "unary gate needs exactly one fanin");
+        fail(g.line_no, "unary gate " + g.out + " needs exactly one fanin, got " +
+                            std::to_string(fanin.size()));
       }
       if (type != GateType::kBuf && type != GateType::kNot && fanin.size() == 1) {
         // Some dialects write AND(x) for a buffer; normalise.

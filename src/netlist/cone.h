@@ -1,8 +1,14 @@
-// Fanout-cone extraction.
+// Fanout-cone extraction — reference implementation.
 //
 // The fault simulator evaluates only the transitive fanout cone of the
 // fault site for each injected fault, which is what makes parallel-
 // pattern single-fault propagation affordable on thousands of faults.
+//
+// The hot paths (sim::FaultSim, atpg::Podem) no longer call these: they
+// walk the precompiled CSR cone slices of netlist::CompiledCircuit.
+// This module remains the independent reference that the compiler is
+// pinned to (tests/netlist/compiled_test.cpp) and that the seed-path
+// simulators in sim/reference_sim.h still use.
 #pragma once
 
 #include <cstddef>

@@ -1,8 +1,12 @@
-// Levelization and topological utilities.
+// Levelization and topological utilities — reference implementation.
 //
 // Netlist construction already enforces a topological net numbering
-// (fanin ids < gate id); levelization assigns each net its logic depth,
-// used by the ATPG backtrace heuristics and circuit statistics.
+// (fanin ids < gate id); levelization assigns each net its logic depth.
+//
+// The ATPG and statistics layers now read levels/depth from
+// netlist::CompiledCircuit (compiled once per circuit); these functions
+// remain the independent reference the compiler is pinned to in
+// tests/netlist/compiled_test.cpp, and serve one-shot callers.
 #pragma once
 
 #include <cstddef>

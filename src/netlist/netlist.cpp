@@ -86,7 +86,11 @@ NetId Netlist::add_gate(GateType type, const std::string& name, std::vector<NetI
   }
   const NetId id = static_cast<NetId>(gates_.size());
   for (const NetId f : fanin) {
-    if (f >= id) throw std::runtime_error("fanin must reference an existing net: " + name);
+    if (f >= id) {
+      throw std::runtime_error("gate " + name + ": fanin id " + std::to_string(f) +
+                               " does not reference an existing net (nets defined: " +
+                               std::to_string(id) + ")");
+    }
   }
   gates_.push_back(Gate{type, std::move(fanin), name});
   by_name_.emplace(name, id);
@@ -95,7 +99,10 @@ NetId Netlist::add_gate(GateType type, const std::string& name, std::vector<NetI
 }
 
 void Netlist::mark_output(NetId net) {
-  if (net >= gates_.size()) throw std::runtime_error("mark_output: no such net");
+  if (net >= gates_.size()) {
+    throw std::runtime_error("mark_output: no such net id " + std::to_string(net) +
+                             " (nets defined: " + std::to_string(gates_.size()) + ")");
+  }
   if (std::find(outputs_.begin(), outputs_.end(), net) == outputs_.end()) {
     outputs_.push_back(net);
   }
@@ -136,10 +143,14 @@ void Netlist::validate() const {
     const Gate& g = gates_[id];
     for (const NetId f : g.fanin) {
       if (f >= gates_.size()) {
-        throw std::runtime_error("net " + g.name + " has dangling fanin");
+        throw std::runtime_error("net " + g.name + " has dangling fanin id " +
+                                 std::to_string(f));
       }
       // add_gate enforces fanin < id, which also guarantees acyclicity.
-      if (f >= id) throw std::runtime_error("net " + g.name + " breaks topological order");
+      if (f >= id) {
+        throw std::runtime_error("net " + g.name + " breaks topological order (reads " +
+                                 gates_[f].name + ")");
+      }
     }
     switch (g.type) {
       case GateType::kInput:
@@ -160,8 +171,12 @@ void Netlist::validate() const {
   }
   if (inputs_.empty()) throw std::runtime_error("netlist has no primary inputs");
   if (outputs_.empty()) throw std::runtime_error("netlist has no primary outputs");
-  for (const NetId o : outputs_) {
-    if (o >= gates_.size()) throw std::runtime_error("dangling primary output");
+  for (std::size_t i = 0; i < outputs_.size(); ++i) {
+    if (outputs_[i] >= gates_.size()) {
+      throw std::runtime_error("primary output #" + std::to_string(i) +
+                               " references missing net id " +
+                               std::to_string(outputs_[i]));
+    }
   }
 }
 

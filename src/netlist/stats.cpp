@@ -3,34 +3,33 @@
 #include <algorithm>
 #include <sstream>
 
-#include "netlist/levelize.h"
+#include "netlist/compiled.h"
 
 namespace fbist::netlist {
 
 CircuitStats compute_stats(const Netlist& nl) {
+  // One structure-only compile pass supplies depth, fanin and fanout
+  // counts — the seed re-derived levels and a vector-of-vectors fanout
+  // cache separately; cone slices are not needed here.
+  const CompiledCircuit cc(nl, /*build_cone_slices=*/false);
   CircuitStats s;
-  s.num_inputs = nl.num_inputs();
-  s.num_outputs = nl.num_outputs();
-  s.num_gates = nl.num_gates();
-  s.num_nets = nl.num_nets();
-  s.depth = depth(nl);
+  s.num_inputs = cc.num_inputs();
+  s.num_outputs = cc.num_outputs();
+  s.num_gates = cc.num_gates();
+  s.num_nets = cc.num_nets();
+  s.depth = cc.depth();
 
   std::size_t fanin_total = 0;
-  for (NetId id = 0; id < nl.num_nets(); ++id) {
-    const Gate& g = nl.gate(id);
-    s.per_type[static_cast<std::size_t>(g.type)]++;
-    fanin_total += g.fanin.size();
+  std::size_t fo_total = 0;
+  for (NetId id = 0; id < cc.num_nets(); ++id) {
+    s.per_type[static_cast<std::size_t>(cc.type(id))]++;
+    fanin_total += cc.fanin(id).size();
+    fo_total += cc.fanout(id).size();
+    s.max_fanout = std::max(s.max_fanout, cc.fanout(id).size());
   }
   s.avg_fanin = s.num_gates == 0 ? 0.0
                                  : static_cast<double>(fanin_total) /
                                        static_cast<double>(s.num_gates);
-
-  const auto& fo = nl.fanouts();
-  std::size_t fo_total = 0;
-  for (const auto& f : fo) {
-    fo_total += f.size();
-    s.max_fanout = std::max(s.max_fanout, f.size());
-  }
   s.avg_fanout = s.num_nets == 0 ? 0.0
                                  : static_cast<double>(fo_total) /
                                        static_cast<double>(s.num_nets);

@@ -21,6 +21,10 @@ Pipeline::Pipeline(netlist::Netlist nl, std::string name, PipelineOptions opts)
 }
 
 void Pipeline::init() {
+  // Compile the circuit once; ATPG, PODEM, and every fault-simulation
+  // campaign below (and across all TPG kinds / T values) share it.
+  compiled_ = std::make_shared<const netlist::CompiledCircuit>(nl_);
+
   // TestGen substitute: deterministic ATPG provides the complete test
   // set ATPGTS and implicitly defines the target fault list F — the
   // faults it detects.  Redundant and aborted faults leave the target
@@ -28,10 +32,9 @@ void Pipeline::init() {
   // coverable fault coverage is measured against it).
   {
     const fault::FaultList all = fault::FaultList::collapsed(nl_);
-    sim::FaultSim tmp_sim(nl_, all);
     atpg::AtpgOptions aopts = opts_.atpg;
     aopts.seed ^= util::hash_string(name_);
-    atpg_ = atpg::run_atpg(nl_, all, aopts);
+    atpg_ = atpg::run_atpg(nl_, all, aopts, compiled_);
 
     std::vector<bool> drop(all.size(), false);
     for (std::size_t f = 0; f < all.size(); ++f) {
@@ -42,7 +45,7 @@ void Pipeline::init() {
   if (faults_.size() == 0) {
     throw std::runtime_error("pipeline: ATPG detected no faults on " + name_);
   }
-  fsim_ = std::make_unique<sim::FaultSim>(nl_, faults_);
+  fsim_ = std::make_unique<sim::FaultSim>(nl_, faults_, compiled_);
 }
 
 std::pair<InitialReseeding, ReseedingSolution> Pipeline::run_detailed(

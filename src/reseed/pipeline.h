@@ -5,9 +5,13 @@
 //           -> Initial Reseeding Builder -> Matrix Reducer -> exact solve
 //           -> final reseeding solution.
 //
-// The pipeline object owns the per-circuit state (netlist, fault list,
-// fault simulator, ATPG test set) so that multiple TPGs / multiple T
-// values can be evaluated without re-running ATPG.
+// The pipeline object owns the per-circuit state (netlist, compiled
+// circuit, fault list, fault simulator, ATPG test set) so that multiple
+// TPGs / multiple T values can be evaluated without re-running ATPG.
+// The circuit is compiled exactly once (netlist::CompiledCircuit) and
+// that flat form is shared by ATPG, PODEM, and the fault simulator that
+// builds every candidate triplet's detection-matrix column — the
+// structure is never re-derived per candidate.
 #pragma once
 
 #include <cstddef>
@@ -17,6 +21,7 @@
 #include "atpg/engine.h"
 #include "circuits/registry.h"
 #include "fault/fault.h"
+#include "netlist/compiled.h"
 #include "netlist/netlist.h"
 #include "reseed/initial_builder.h"
 #include "reseed/optimizer.h"
@@ -50,6 +55,7 @@ class Pipeline {
 
   const std::string& name() const { return name_; }
   const netlist::Netlist& circuit() const { return nl_; }
+  const netlist::CompiledCircuit& compiled() const { return *compiled_; }
   const fault::FaultList& faults() const { return faults_; }
   const sim::FaultSim& fault_sim() const { return *fsim_; }
   const atpg::AtpgResult& atpg_result() const { return atpg_; }
@@ -62,6 +68,7 @@ class Pipeline {
   std::string name_;
   PipelineOptions opts_;
   netlist::Netlist nl_;
+  std::shared_ptr<const netlist::CompiledCircuit> compiled_;
   fault::FaultList faults_;
   std::unique_ptr<sim::FaultSim> fsim_;
   atpg::AtpgResult atpg_;

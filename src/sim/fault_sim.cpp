@@ -6,11 +6,211 @@
 
 namespace fbist::sim {
 
+using netlist::CompiledCircuit;
 using netlist::GateType;
 using netlist::NetId;
 
+namespace {
+
+/// Four 64-pattern blocks evaluated per cone walk.  The bitwise ops
+/// vectorize; multi-block campaigns amortize one structure walk over
+/// 256 patterns instead of four walks over 64.
+struct Word4 {
+  Word w[4];
+};
+
+inline Word4 operator~(const Word4& a) {
+  return {~a.w[0], ~a.w[1], ~a.w[2], ~a.w[3]};
+}
+inline Word4 operator&(const Word4& a, const Word4& b) {
+  return {a.w[0] & b.w[0], a.w[1] & b.w[1], a.w[2] & b.w[2], a.w[3] & b.w[3]};
+}
+inline Word4 operator|(const Word4& a, const Word4& b) {
+  return {a.w[0] | b.w[0], a.w[1] | b.w[1], a.w[2] | b.w[2], a.w[3] | b.w[3]};
+}
+inline Word4 operator^(const Word4& a, const Word4& b) {
+  return {a.w[0] ^ b.w[0], a.w[1] ^ b.w[1], a.w[2] ^ b.w[2], a.w[3] ^ b.w[3]};
+}
+
+inline bool differs(Word a, Word b) { return a != b; }
+inline bool differs(const Word4& a, const Word4& b) {
+  return ((a.w[0] ^ b.w[0]) | (a.w[1] ^ b.w[1]) | (a.w[2] ^ b.w[2]) |
+          (a.w[3] ^ b.w[3])) != 0;
+}
+
+inline bool test_flag(const std::uint8_t* flags, std::uint32_t slot) {
+  return flags[slot] != 0;
+}
+
+/// Runs one precompiled cone program (encoding: netlist/compiled.h).
+///
+/// `local[slot]` holds the faulty value of cone slot `slot`;
+/// `diff_flag` flags the slots whose faulty value currently differs
+/// from good (slot 0 = forced fault site, pre-set by the caller).  A
+/// gate none of whose fanins differ is skipped — its value is the good
+/// value, which readers fetch through the inline global id — so the
+/// walk touches only the fault's active region, in scratch that stays
+/// cache-resident (cone-dense slots, not net ids).  Fanin references
+/// are fixed-width (slot, global) pairs, so both the touched-scan and
+/// the loads are branchless selects.
+///
+/// `kScan` enables the skip of gates none of whose fanins differ.  It
+/// pays off when the active region is a small share of the cone (deep
+/// circuits, late blocks); on small dense cones the scan is overhead
+/// and a skipped gate evaluates to its good value anyway.
+///
+/// `kNarrow` selects the packed 16-bit program encoding (see
+/// compiled.h), which halves the stream bytes the walk is bound by.
+///
+/// `kPrecopy` assumes the caller pre-filled `local` with the cone's
+/// good values (so skipped gates hold good values too).  Loads then
+/// select on `slot != sentinel` — a register compare available as soon
+/// as the ref word is decoded — instead of on a diff_flag byte load,
+/// shortening the per-fanin dependency chain.
+template <typename V, bool kScan, bool kNarrow, bool kPrecopy, typename GoodFn>
+inline void walk_cone_program(netlist::Span<std::uint32_t> prog, V* local,
+                              std::uint8_t* diff_flag, GoodFn good_of,
+                              std::uint32_t sentinel = 0) {
+  const std::uint32_t* p = prog.begin();
+  const std::uint32_t* const p_end = prog.end();
+  std::uint32_t slot_self = 1;
+  while (p != p_end) {
+    const std::uint32_t header = *p++;
+    NetId self;
+    std::uint32_t k;
+    GateType type;
+    if (kNarrow) {
+      self = header >> 16;
+      k = (header >> 4) & 0xfff;
+      type = static_cast<GateType>(header & 0xf);
+    } else {
+      self = *p++;
+      k = header >> 8;
+      type = static_cast<GateType>(header & 0xff);
+    }
+    const std::uint32_t* const refs = p;
+    p += kNarrow ? k : 2 * k;
+
+    const auto ref_slot = [refs](std::uint32_t i) -> std::uint32_t {
+      return kNarrow ? refs[i] >> 16 : refs[2 * i];
+    };
+    const auto ref_glob = [refs](std::uint32_t i) -> NetId {
+      return kNarrow ? (refs[i] & 0xffff) : refs[2 * i + 1];
+    };
+
+    if (kScan) {
+      bool touched = test_flag(diff_flag, ref_slot(0));
+      for (std::uint32_t i = 1; i < k; ++i) {
+        touched |= test_flag(diff_flag, ref_slot(i));
+      }
+      if (!touched) {
+        ++slot_self;
+        continue;
+      }
+    }
+
+    const auto load = [&](std::uint32_t i) -> V {
+      const std::uint32_t slot = ref_slot(i);
+      if (kPrecopy) {
+        return slot != sentinel ? local[slot] : good_of(ref_glob(i));
+      }
+      return test_flag(diff_flag, slot) ? local[slot] : good_of(ref_glob(i));
+    };
+    V v = load(0);
+    switch (type) {
+      case GateType::kBuf:
+        break;
+      case GateType::kNot:
+        v = ~v;
+        break;
+      case GateType::kAnd:
+        for (std::uint32_t i = 1; i < k; ++i) v = v & load(i);
+        break;
+      case GateType::kNand:
+        for (std::uint32_t i = 1; i < k; ++i) v = v & load(i);
+        v = ~v;
+        break;
+      case GateType::kOr:
+        for (std::uint32_t i = 1; i < k; ++i) v = v | load(i);
+        break;
+      case GateType::kNor:
+        for (std::uint32_t i = 1; i < k; ++i) v = v | load(i);
+        v = ~v;
+        break;
+      case GateType::kXor:
+        for (std::uint32_t i = 1; i < k; ++i) v = v ^ load(i);
+        break;
+      case GateType::kXnor:
+        for (std::uint32_t i = 1; i < k; ++i) v = v ^ load(i);
+        v = ~v;
+        break;
+      case GateType::kInput:
+        break;  // unreachable: inputs never appear in a cone
+    }
+    local[slot_self] = v;
+    // Byte flags, not a bitset: distinct addresses per gate keep the
+    // walk free of read-modify-write chains through shared words.
+    diff_flag[slot_self] = differs(v, good_of(self)) ? 1 : 0;
+    ++slot_self;
+  }
+}
+
+/// Reads the interleaved (4 words per net) good-value layout of one
+/// 4-block chunk.
+struct GoodT {
+  const Word* gT;
+  Word4 operator()(NetId n) const {
+    return Word4{gT[n * 4], gT[n * 4 + 1], gT[n * 4 + 2], gT[n * 4 + 3]};
+  }
+};
+
+// The 4-wide walker is compiled once per ISA level with runtime
+// dispatch: on AVX2 hardware the Word4 ops become single 256-bit
+// instructions, which is where the 4-blocks-per-walk layout pays off.
+// The default clone keeps the binary portable.
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+#define FBIST_TARGET_CLONES __attribute__((target_clones("avx2", "default")))
+#else
+#define FBIST_TARGET_CLONES
+#endif
+
+FBIST_TARGET_CLONES
+void walk4_narrow(netlist::Span<std::uint32_t> prog, Word4* local,
+                  std::uint8_t* diff_flag, const Word* gT) {
+  walk_cone_program<Word4, true, true, false>(prog, local, diff_flag, GoodT{gT});
+}
+
+FBIST_TARGET_CLONES
+void walk4_wide(netlist::Span<std::uint32_t> prog, Word4* local,
+                std::uint8_t* diff_flag, const Word* gT) {
+  walk_cone_program<Word4, true, false, false>(prog, local, diff_flag, GoodT{gT});
+}
+
+}  // namespace
+
 FaultSim::FaultSim(const netlist::Netlist& nl, const fault::FaultList& faults)
-    : nl_(nl), faults_(faults), good_sim_(nl), cones_(nl) {}
+    : FaultSim(nl, faults, std::make_shared<CompiledCircuit>(nl)) {}
+
+FaultSim::FaultSim(const netlist::Netlist& nl, const fault::FaultList& faults,
+                   std::shared_ptr<const CompiledCircuit> compiled)
+    : nl_(nl), faults_(faults), cc_(std::move(compiled)), good_sim_(nl, cc_) {
+  // Pair opposite-polarity faults on the same net into one site; each
+  // site costs one cone walk per block.  A stray duplicate polarity
+  // (never produced by FaultList::full/collapsed) gets its own site.
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> site_of(cc_->num_nets(), kNone);
+  for (std::size_t fid = 0; fid < faults_.size(); ++fid) {
+    const fault::Fault& f = faults_[fid];
+    const std::size_t pol = f.stuck_value ? 1 : 0;
+    std::size_t s = site_of[f.net];
+    if (s == kNone || sites_[s].fid[pol] != kNone) {
+      s = sites_.size();
+      sites_.push_back(Site{f.net, {kNone, kNone}});
+      site_of[f.net] = s;
+    }
+    sites_[s].fid[pol] = fid;
+  }
+}
 
 FaultSimResult FaultSim::run(const PatternSet& patterns,
                              bool stop_after_first_detection,
@@ -24,6 +224,7 @@ FaultSimResult FaultSim::run_subset(const PatternSet& patterns,
                                     bool stop_after_first_detection,
                                     bool parallel) const {
   assert(active.size() == faults_.size());
+  const CompiledCircuit& cc = *cc_;
   const std::size_t nf = faults_.size();
   const std::size_t blocks = (patterns.size() + 63) / 64;
 
@@ -45,92 +246,191 @@ FaultSimResult FaultSim::run_subset(const PatternSet& patterns,
   // Mask of valid pattern lanes in the last block.
   const std::size_t tail = patterns.size() % 64;
   const Word tail_mask = tail == 0 ? ~Word{0} : ((Word{1} << tail) - 1);
+  const auto block_lanes = [&](std::size_t b) {
+    return b >= blocks ? Word{0} : (b + 1 == blocks ? tail_mask : ~Word{0});
+  };
 
-  const auto& outs = nl_.outputs();
+  // Campaign layout: block 0 is walked alone — most faults are detected
+  // there and then cost exactly one narrow cone walk.  The remaining
+  // blocks are walked in 4-wide chunks over block-interleaved good
+  // values, so faults that survive block 0 amortize one structure walk
+  // over up to 256 patterns.
+  const std::size_t lead_blocks = std::min<std::size_t>(blocks, 1);
+  const std::size_t nchunks = blocks > 1 ? (blocks - 1 + 3) / 4 : 0;
+  std::vector<std::vector<Word>> goodT(nchunks);
+  std::vector<Word4> chunk_lanes(nchunks);
+  for (std::size_t chunk = 0; chunk < nchunks; ++chunk) {
+    auto& t = goodT[chunk];
+    t.resize(cc.num_nets() * 4);
+    for (std::size_t j = 0; j < 4; ++j) {
+      const std::size_t b = 1 + chunk * 4 + j;
+      chunk_lanes[chunk].w[j] = block_lanes(b);
+      // Pad absent blocks with the last real block: the site is never
+      // flipped there (lanes are 0), so the faulty values equal the
+      // good values and the padding lanes cannot trip the per-gate
+      // differs() check that drives the touched-scan skip.
+      const Word* const gb = good[b >= blocks ? blocks - 1 : b].data();
+      for (std::size_t n = 0; n < cc.num_nets(); ++n) t[n * 4 + j] = gb[n];
+    }
+  }
 
-  // Per-worker scratch: faulty values indexed by net id, plus an epoch
-  // stamp marking which entries are valid for the current fault/block.
+  const auto& outs = cc.outputs();
+
+  // Per-worker scratch, sized by the largest cone (slot-dense, so it
+  // stays small and hot even on circuits whose per-net arrays do not
+  // fit in cache).  +2 covers the root slot and the outside-sentinel
+  // slot, which branchless selects may load speculatively.
+  const std::size_t max_slots = cc.max_cone_gates() + 2;
   struct Scratch {
-    std::vector<Word> value;
-    std::vector<std::uint32_t> epoch;
-    std::uint32_t current = 0;
+    std::vector<Word> local1;
+    std::vector<Word4> local4;
+    std::vector<std::uint8_t> diff_flag;
   };
   const std::size_t workers = parallel ? util::parallel_workers() : 1;
   std::vector<Scratch> scratches(workers);
   for (auto& s : scratches) {
-    s.value.assign(nl_.num_nets(), 0);
-    s.epoch.assign(nl_.num_nets(), 0);
+    s.local1.assign(max_slots, 0);
+    s.local4.assign(nchunks > 0 ? max_slots : 0, Word4{});
+    s.diff_flag.assign(max_slots, 0);
   }
 
-  auto simulate_fault = [&](std::size_t fid, std::size_t worker) {
-    if (!active[fid]) return;
-    const fault::Fault& f = faults_[fid];
-    const netlist::Cone& cone = cones_.cone(f.net);
+  constexpr std::size_t kNoFault = static_cast<std::size_t>(-1);
+  auto simulate_site = [&](std::size_t sid, std::size_t worker) {
+    const Site& site = sites_[sid];
+    // live[s]: the stuck-at-s fault on this net still needs simulation.
+    bool live[2];
+    for (int s = 0; s < 2; ++s) {
+      live[s] = site.fid[s] != kNoFault && active[site.fid[s]];
+    }
+    if (!live[0] && !live[1]) return;
+
+    const netlist::Span<std::uint32_t> prog = cc.cone_program(site.net);
+    const netlist::Span<std::uint32_t> cone_outs = cc.cone_outputs(site.net);
+    const netlist::Span<std::uint32_t> cone_slots = cc.cone_output_slots(site.net);
     Scratch& sc = scratches[worker];
+    std::uint8_t* const diff_flag = sc.diff_flag.data();
+    const std::size_t flag_count = cc.cone_gates(site.net).size() + 2;
 
-    for (std::size_t b = 0; b < blocks; ++b) {
-      const std::vector<Word>& g = good[b];
-      const Word lanes = b + 1 == blocks ? tail_mask : ~Word{0};
+    // Lanes where the live faults are activated: sa0 flips the site
+    // where the good value is 1, sa1 where it is 0 — disjoint, so one
+    // walk with the site complemented on exactly those lanes simulates
+    // both faults (bitwise ops are lane-independent).
+    const auto record = [&](std::size_t fid, Word d, std::size_t block) {
+      detected_flag[fid] = 1;
+      result.earliest[fid] =
+          static_cast<std::uint32_t>(block * 64 + __builtin_ctzll(d));
+    };
 
-      const Word forced = f.stuck_value ? ~Word{0} : Word{0};
-      if (((forced ^ g[f.net]) & lanes) == 0) continue;  // not activated
-
-      ++sc.current;
-      sc.value[f.net] = forced;
-      sc.epoch[f.net] = sc.current;
-
-      Word diff_at_outputs = 0;
-      Word fanin_buf[8];
-      std::vector<Word> wide_buf;
-      for (const NetId gate_id : cone.gates) {
-        const auto& gate = nl_.gate(gate_id);
-        const std::size_t k = gate.fanin.size();
-        const Word* vals;
-        if (k <= 8) {
-          for (std::size_t i = 0; i < k; ++i) {
-            const NetId fin = gate.fanin[i];
-            fanin_buf[i] = sc.epoch[fin] == sc.current ? sc.value[fin] : g[fin];
-          }
-          vals = fanin_buf;
+    // Lead blocks, one narrow walk each.
+    for (std::size_t b = 0; b < lead_blocks && (live[0] || live[1]); ++b) {
+      const Word* const g = good[b].data();
+      const Word lanes = block_lanes(b);
+      const Word gs = g[site.net];
+      const Word act = ((live[0] ? gs : Word{0}) | (live[1] ? ~gs : Word{0})) & lanes;
+      if (act == 0) continue;  // neither live fault activated
+      Word* const local = sc.local1.data();
+      std::fill(diff_flag, diff_flag + flag_count, 0);
+      // Pre-fill the cone's good values so loads can select on the
+      // (register-resident) slot instead of a flag byte.
+      const netlist::Span<NetId> cone = cc.cone_gates(site.net);
+      for (std::size_t i = 0; i < cone.size(); ++i) local[i + 1] = g[cone[i]];
+      local[0] = gs ^ act;
+      diff_flag[0] = 1;
+      const std::uint32_t sentinel = static_cast<std::uint32_t>(cone.size() + 1);
+      const auto good_of = [g](NetId n) { return g[n]; };
+      // Small cones are cheapest fully evaluated (the skip branch
+      // mispredicts); deep cones win by skipping the inactive region.
+      const bool scan = prog.size() >= kScanMinProgWords;
+      if (cc.narrow_programs()) {
+        if (scan) {
+          walk_cone_program<Word, true, true, true>(prog, local, diff_flag,
+                                                    good_of, sentinel);
         } else {
-          wide_buf.resize(k);
-          for (std::size_t i = 0; i < k; ++i) {
-            const NetId fin = gate.fanin[i];
-            wide_buf[i] = sc.epoch[fin] == sc.current ? sc.value[fin] : g[fin];
-          }
-          vals = wide_buf.data();
+          walk_cone_program<Word, false, true, true>(prog, local, diff_flag,
+                                                     good_of, sentinel);
         }
-        const Word v = eval_gate(gate.type, vals, k);
-        sc.value[gate_id] = v;
-        sc.epoch[gate_id] = sc.current;
+      } else {
+        if (scan) {
+          walk_cone_program<Word, true, false, true>(prog, local, diff_flag,
+                                                     good_of, sentinel);
+        } else {
+          walk_cone_program<Word, false, false, true>(prog, local, diff_flag,
+                                                      good_of, sentinel);
+        }
       }
 
-      // Compare every reachable primary output; include the root if it
-      // is itself a PO.
-      for (const std::size_t pos : cone.output_positions) {
-        const NetId o = outs[pos];
-        const Word fv = sc.epoch[o] == sc.current ? sc.value[o] : g[o];
-        diff_at_outputs |= (fv ^ g[o]);
+      Word diff = 0;
+      for (std::size_t i = 0; i < cone_outs.size(); ++i) {
+        const std::uint32_t slot = cone_slots[i];
+        if (!test_flag(diff_flag, slot)) continue;
+        const NetId o = outs[cone_outs[i]];
+        diff |= local[slot] ^ g[o];
       }
-      diff_at_outputs &= lanes;
-
-      if (diff_at_outputs != 0) {
-        const int lane = __builtin_ctzll(diff_at_outputs);
-        const std::uint32_t idx = static_cast<std::uint32_t>(b * 64 + lane);
-        detected_flag[fid] = 1;
-        result.earliest[fid] = idx;
-        if (stop_after_first_detection) return;
-        // Record only the first detection; continue scanning is only
-        // needed when callers want full per-pattern info (not required).
-        return;
+      diff &= lanes;
+      if (diff == 0) continue;
+      if (live[0]) {
+        const Word d0 = diff & gs;
+        if (d0 != 0) {
+          record(site.fid[0], d0, b);
+          live[0] = false;
+        }
+      }
+      if (live[1]) {
+        const Word d1 = diff & ~gs;
+        if (d1 != 0) {
+          record(site.fid[1], d1, b);
+          live[1] = false;
+        }
       }
     }
+
+    Word4* const local = sc.local4.data();
+    for (std::size_t chunk = 0; chunk < nchunks && (live[0] || live[1]); ++chunk) {
+      const Word* const gT = goodT[chunk].data();
+      const Word4 lanes = chunk_lanes[chunk];
+      const GoodT good_of{gT};
+
+      const Word4 gs = good_of(site.net);
+      const Word4 zero{};
+      const Word4 act = ((live[0] ? gs : zero) | (live[1] ? ~gs : zero)) & lanes;
+      if (!differs(act, zero)) continue;
+
+      std::fill(diff_flag, diff_flag + flag_count, 0);
+      local[0] = gs ^ act;
+      diff_flag[0] = 1;
+      if (cc.narrow_programs()) {
+        walk4_narrow(prog, local, diff_flag, gT);
+      } else {
+        walk4_wide(prog, local, diff_flag, gT);
+      }
+
+      Word4 diff{};
+      for (std::size_t i = 0; i < cone_outs.size(); ++i) {
+        const std::uint32_t slot = cone_slots[i];
+        if (!test_flag(diff_flag, slot)) continue;
+        const NetId o = outs[cone_outs[i]];
+        diff = diff | (local[slot] ^ good_of(o));
+      }
+      diff = diff & lanes;
+      for (int s = 0; s < 2 && (live[0] || live[1]); ++s) {
+        if (!live[s]) continue;
+        const Word4 pol_mask = s == 0 ? gs : ~gs;
+        for (std::size_t j = 0; j < 4; ++j) {
+          const Word d = diff.w[j] & pol_mask.w[j];
+          if (d == 0) continue;
+          record(site.fid[s], d, 1 + chunk * 4 + j);
+          live[s] = false;
+          break;  // earliest block found for this polarity
+        }
+      }
+    }
+    (void)stop_after_first_detection;  // first detection always terminates
   };
 
   if (parallel && workers > 1) {
-    util::parallel_for_workers(nf, simulate_fault);
+    util::parallel_for_workers(sites_.size(), simulate_site);
   } else {
-    for (std::size_t fid = 0; fid < nf; ++fid) simulate_fault(fid, 0);
+    for (std::size_t sid = 0; sid < sites_.size(); ++sid) simulate_site(sid, 0);
   }
   for (std::size_t fid = 0; fid < nf; ++fid) {
     if (detected_flag[fid]) result.detected.set(fid);

@@ -6,15 +6,29 @@
 // good response.  Detection bits, and optionally the *earliest detecting
 // pattern index* per fault, are accumulated — the latter drives the
 // paper's per-triplet test-length trimming.
+//
+// The cone walk streams the precompiled cone programs of a
+// netlist::CompiledCircuit (cone-local slot numbering, flat fanin
+// references, reachable-PO positions), with work distributed across
+// hardware threads via util::parallel_for_workers and per-worker
+// scratch.  Two campaign-level optimizations apply on top:
+//
+//  * site pairing: sa0 and sa1 on the same net activate on disjoint
+//    pattern lanes, so one walk with the site complemented per lane
+//    simulates both faults exactly — dual-polarity nets cost one walk;
+//  * 4-wide chunks: block 0 is walked alone (most faults are detected
+//    there at single-block cost); faults that survive it evaluate four
+//    64-pattern blocks per walk over block-interleaved good values.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "fault/fault.h"
-#include "netlist/cone.h"
+#include "netlist/compiled.h"
 #include "sim/logic_sim.h"
 #include "sim/pattern.h"
 #include "util/bitvector.h"
@@ -23,6 +37,13 @@ namespace fbist::sim {
 
 /// Sentinel for "fault never detected".
 constexpr std::uint32_t kNotDetected = std::numeric_limits<std::uint32_t>::max();
+
+/// Cone-program length (uint32 words) above which the fault simulator's
+/// narrow walk uses the touched-scan skip; shorter programs evaluate
+/// the whole cone (the skip branch mispredicts on small dense cones).
+/// Public so equivalence tests can pin both walk variants to the
+/// reference simulator.
+constexpr std::size_t kScanMinProgWords = 2048;
 
 /// Result of a fault-simulation campaign over one pattern set.
 struct FaultSimResult {
@@ -40,11 +61,16 @@ struct FaultSimResult {
   }
 };
 
-/// Fault simulator bound to one netlist + fault list.  The cone index is
-/// built once per circuit and shared across campaigns.
+/// Fault simulator bound to one netlist + fault list.  The compiled
+/// circuit is built once per circuit and shared across campaigns (and,
+/// via the sharing constructor, across engines).
 class FaultSim {
  public:
+  /// Compiles the netlist privately.
   FaultSim(const netlist::Netlist& nl, const fault::FaultList& faults);
+  /// Shares an existing compiled form (must describe `nl`).
+  FaultSim(const netlist::Netlist& nl, const fault::FaultList& faults,
+           std::shared_ptr<const netlist::CompiledCircuit> compiled);
 
   /// Simulates all patterns against all faults.
   ///
@@ -70,12 +96,24 @@ class FaultSim {
 
   const fault::FaultList& faults() const { return faults_; }
   const netlist::Netlist& netlist() const { return nl_; }
+  const netlist::CompiledCircuit& compiled() const { return *cc_; }
+  const std::shared_ptr<const netlist::CompiledCircuit>& compiled_ptr() const {
+    return cc_;
+  }
 
  private:
+  /// Faults sharing one injection site: fid[s] is the id of the
+  /// stuck-at-s fault on `net`, or SIZE_MAX.
+  struct Site {
+    netlist::NetId net;
+    std::size_t fid[2];
+  };
+
   const netlist::Netlist& nl_;
   const fault::FaultList& faults_;
+  std::shared_ptr<const netlist::CompiledCircuit> cc_;
   LogicSim good_sim_;
-  netlist::ConeIndex cones_;
+  std::vector<Site> sites_;
 };
 
 }  // namespace fbist::sim

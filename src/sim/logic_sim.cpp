@@ -3,8 +3,11 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "sim/gate_eval.h"
+
 namespace fbist::sim {
 
+using netlist::CompiledCircuit;
 using netlist::GateType;
 using netlist::NetId;
 
@@ -52,11 +55,12 @@ Word eval_gate(GateType type, const Word* fanin_values, std::size_t fanin_count)
 
 void LogicSim::simulate_word(const PatternSet& patterns, std::size_t base,
                              std::vector<Word>& values) const {
-  assert(patterns.num_inputs() == nl_.num_inputs());
-  values.assign(nl_.num_nets(), 0);
+  const CompiledCircuit& cc = *cc_;
+  assert(patterns.num_inputs() == cc.num_inputs());
+  values.assign(cc.num_nets(), 0);
 
   // Load PI slices.
-  const auto& inputs = nl_.inputs();
+  const auto& inputs = cc.inputs();
   const std::size_t word_index = base / 64;
   assert(base % 64 == 0);
   for (std::size_t i = 0; i < inputs.size(); ++i) {
@@ -64,19 +68,10 @@ void LogicSim::simulate_word(const PatternSet& patterns, std::size_t base,
     values[inputs[i]] = word_index < slice_words.size() ? slice_words[word_index] : 0;
   }
 
-  Word fanin_buf[8];
-  for (NetId id = 0; id < nl_.num_nets(); ++id) {
-    const auto& g = nl_.gate(id);
-    if (g.type == GateType::kInput) continue;
-    const std::size_t k = g.fanin.size();
-    if (k <= 8) {
-      for (std::size_t i = 0; i < k; ++i) fanin_buf[i] = values[g.fanin[i]];
-      values[id] = eval_gate(g.type, fanin_buf, k);
-    } else {
-      std::vector<Word> wide(k);
-      for (std::size_t i = 0; i < k; ++i) wide[i] = values[g.fanin[i]];
-      values[id] = eval_gate(g.type, wide.data(), k);
-    }
+  Word* const v = values.data();
+  for (const NetId id : cc.schedule()) {
+    v[id] = detail::eval_compiled_gate(cc.type(id), cc.fanin(id),
+                                       [v](NetId f) { return v[f]; });
   }
 }
 
@@ -90,19 +85,19 @@ std::vector<std::vector<Word>> LogicSim::simulate(const PatternSet& patterns) co
 }
 
 std::vector<bool> LogicSim::simulate_single(const util::WideWord& pattern) const {
-  PatternSet ps(nl_.num_inputs(), 0);
+  PatternSet ps(cc_->num_inputs(), 0);
   ps.append(pattern);
   std::vector<Word> values;
   simulate_word(ps, 0, values);
-  std::vector<bool> out(nl_.num_nets());
+  std::vector<bool> out(values.size());
   for (std::size_t n = 0; n < out.size(); ++n) out[n] = values[n] & 1u;
   return out;
 }
 
 util::WideWord LogicSim::output_response(const util::WideWord& pattern) const {
   const auto values = simulate_single(pattern);
-  util::WideWord resp(nl_.num_outputs());
-  const auto& outs = nl_.outputs();
+  util::WideWord resp(cc_->num_outputs());
+  const auto& outs = cc_->outputs();
   for (std::size_t i = 0; i < outs.size(); ++i) {
     resp.set_bit(i, values[outs[i]]);
   }

@@ -2,14 +2,18 @@
 //
 // Values are bit-sliced: one machine word holds the value of a net under
 // 64 independent patterns, so a full-circuit evaluation of a word costs
-// one pass over the gate array with plain bitwise ops.  This layout is
-// shared with the fault simulator (fault_sim.h), which re-evaluates only
-// fault cones on top of the good-value state produced here.
+// one pass over the gate array with plain bitwise ops.  The simulator
+// evaluates the flat topological schedule of a netlist::CompiledCircuit
+// — no per-gate heap indirection — and the layout is shared with the
+// fault simulator (fault_sim.h), which re-evaluates only fault cones on
+// top of the good-value state produced here.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "netlist/compiled.h"
 #include "netlist/netlist.h"
 #include "sim/pattern.h"
 
@@ -23,7 +27,17 @@ Word eval_gate(netlist::GateType type, const Word* fanin_values, std::size_t fan
 /// Parallel-pattern good-value simulator for one netlist.
 class LogicSim {
  public:
-  explicit LogicSim(const netlist::Netlist& nl) : nl_(nl) {}
+  /// Compiles the netlist privately (structure only — good-value
+  /// simulation never touches cone slices).  Prefer the shared-
+  /// compilation constructor when several engines work on the circuit.
+  explicit LogicSim(const netlist::Netlist& nl)
+      : nl_(nl),
+        cc_(std::make_shared<netlist::CompiledCircuit>(
+            nl, /*build_cone_slices=*/false)) {}
+  /// Shares an existing compiled form (must describe `nl`).
+  LogicSim(const netlist::Netlist& nl,
+           std::shared_ptr<const netlist::CompiledCircuit> compiled)
+      : nl_(nl), cc_(std::move(compiled)) {}
 
   /// Simulates one word (<= 64 patterns) of a pattern set starting at
   /// pattern `base`, writing per-net values into `values` (resized to
@@ -41,9 +55,14 @@ class LogicSim {
   util::WideWord output_response(const util::WideWord& pattern) const;
 
   const netlist::Netlist& netlist() const { return nl_; }
+  const netlist::CompiledCircuit& compiled() const { return *cc_; }
+  const std::shared_ptr<const netlist::CompiledCircuit>& compiled_ptr() const {
+    return cc_;
+  }
 
  private:
   const netlist::Netlist& nl_;
+  std::shared_ptr<const netlist::CompiledCircuit> cc_;
 };
 
 }  // namespace fbist::sim

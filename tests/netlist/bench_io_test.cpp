@@ -64,6 +64,28 @@ TEST(BenchIo, RejectsUndefinedOutput) {
   EXPECT_THROW(parse_bench_string("INPUT(a)\nOUTPUT(zz)\n"), std::runtime_error);
 }
 
+TEST(BenchIo, ErrorsNameLineAndNet) {
+  // Undefined fanin: message must carry the .bench line and the net.
+  try {
+    parse_bench_string("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n");
+    FAIL() << "expected parse to throw";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("y"), std::string::npos) << msg;
+  }
+  // Unknown gate type: message must carry the type and the driven net.
+  try {
+    parse_bench_string("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = FROB(a, b)\n");
+    FAIL() << "expected parse to throw";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("FROB"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("y"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("line 4"), std::string::npos) << msg;
+  }
+}
+
 TEST(BenchIo, RoundTripPreservesStructure) {
   const Netlist orig = circuits::make_c17();
   const std::string text = to_bench_string(orig);

@@ -123,5 +123,25 @@ TEST(Netlist, SummaryMentionsCounts) {
   EXPECT_NE(s.find("2 gates"), std::string::npos);
 }
 
+TEST(Netlist, ErrorsNameTheOffendingNet) {
+  Netlist nl;
+  const auto a = nl.add_input("a");
+  (void)a;
+  try {
+    nl.add_gate(GateType::kNot, "bad_gate", {42});
+    FAIL() << "expected add_gate to throw";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("bad_gate"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("42"), std::string::npos) << msg;
+  }
+  try {
+    nl.mark_output(99);
+    FAIL() << "expected mark_output to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("99"), std::string::npos) << e.what();
+  }
+}
+
 }  // namespace
 }  // namespace fbist::netlist

@@ -1,0 +1,165 @@
+// Old-vs-new cross-checks: the compiled-core simulators (sim::LogicSim,
+// sim::FaultSim) must produce bit-identical results to the retained
+// seed implementations (sim/reference_sim.h) on c17, generated
+// circuits, and a scan-flattened netlist, across random pattern words.
+#include <gtest/gtest.h>
+
+#include "circuits/generator.h"
+#include "circuits/registry.h"
+#include "fault/fault.h"
+#include "netlist/bench_io.h"
+#include "sim/fault_sim.h"
+#include "sim/logic_sim.h"
+#include "sim/reference_sim.h"
+#include "util/rng.h"
+
+namespace fbist::sim {
+namespace {
+
+using netlist::Netlist;
+
+std::vector<Netlist> test_circuits() {
+  std::vector<Netlist> circuits;
+  circuits.push_back(circuits::make_c17());
+
+  circuits::GeneratorSpec spec;
+  spec.num_inputs = 16;
+  spec.num_outputs = 8;
+  spec.num_gates = 260;
+  spec.seed = 31;
+  circuits.push_back(circuits::generate(spec));
+
+  spec.num_inputs = 20;
+  spec.num_outputs = 9;
+  spec.num_gates = 500;
+  spec.xor_share = 0.3;
+  spec.wide_gate_share = 0.12;  // exercises fanin > 4 in cone programs
+  spec.seed = 77;
+  circuits.push_back(circuits::generate(spec));
+
+  circuits.push_back(netlist::parse_bench_string(R"(
+INPUT(x0)
+INPUT(x1)
+INPUT(x2)
+OUTPUT(z)
+q0 = DFF(d0)
+q1 = DFF(d1)
+d0 = XOR(x0, q1)
+d1 = NOR(q0, x1)
+t = OR(d0, x2)
+z = AND(t, d1)
+)"));
+  return circuits;
+}
+
+TEST(CompiledEquiv, LogicSimMatchesReferenceWordForWord) {
+  for (const Netlist& nl : test_circuits()) {
+    LogicSim sim(nl);
+    ReferenceLogicSim ref(nl);
+    util::Rng rng(5);
+    // 200 patterns -> a full word, a full word, and a short tail word.
+    const PatternSet ps = PatternSet::random(nl.num_inputs(), 200, rng);
+    const auto got = sim.simulate(ps);
+    const auto want = ref.simulate(ps);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t w = 0; w < got.size(); ++w) {
+      ASSERT_EQ(got[w], want[w]) << nl.summary() << " word " << w;
+    }
+  }
+}
+
+TEST(CompiledEquiv, FaultSimMatchesReferenceFullAndCollapsed) {
+  for (const Netlist& nl : test_circuits()) {
+    for (const bool collapsed : {false, true}) {
+      const auto fl = collapsed ? fault::FaultList::collapsed(nl)
+                                : fault::FaultList::full(nl);
+      FaultSim fsim(nl, fl);
+      ReferenceFaultSim ref(nl, fl);
+      util::Rng rng(8);
+      // 300 patterns exercises the narrow lead block, the 4-wide chunk
+      // path, and a partial tail block at once.
+      const PatternSet ps = PatternSet::random(nl.num_inputs(), 300, rng);
+      const FaultSimResult got = fsim.run(ps, true, /*parallel=*/false);
+      const FaultSimResult want = ref.run(ps, true, /*parallel=*/false);
+      EXPECT_EQ(got.detected, want.detected) << nl.summary();
+      EXPECT_EQ(got.earliest, want.earliest) << nl.summary();
+    }
+  }
+}
+
+TEST(CompiledEquiv, FaultSimSubsetMatchesReference) {
+  const Netlist nl = test_circuits()[1];
+  const auto fl = fault::FaultList::collapsed(nl);
+  FaultSim fsim(nl, fl);
+  ReferenceFaultSim ref(nl, fl);
+  util::Rng rng(12);
+  const PatternSet ps = PatternSet::random(nl.num_inputs(), 128, rng);
+  // Activate a pseudo-random half of the faults, including lone
+  // polarities of paired sites.
+  std::vector<bool> active(fl.size());
+  for (std::size_t i = 0; i < active.size(); ++i) active[i] = rng.next_bool();
+  const FaultSimResult got = fsim.run_subset(ps, active, true, false);
+  const FaultSimResult want = ref.run_subset(ps, active, true, false);
+  EXPECT_EQ(got.detected, want.detected);
+  EXPECT_EQ(got.earliest, want.earliest);
+}
+
+TEST(CompiledEquiv, ScanWalkVariantMatchesReferenceOnDeepCones) {
+  // A circuit deep enough that its largest cone programs cross the
+  // touched-scan threshold, so the kScan=true walk variants are pinned
+  // to the reference as well (the circuits above stay below it).
+  circuits::GeneratorSpec spec;
+  spec.num_inputs = 18;
+  spec.num_outputs = 4;
+  spec.num_gates = 1600;
+  spec.layers = 14;
+  spec.seed = 123;
+  const Netlist nl = circuits::generate(spec);
+  const netlist::CompiledCircuit cc(nl);
+  std::size_t max_prog = 0;
+  for (netlist::NetId n = 0; n < nl.num_nets(); ++n) {
+    max_prog = std::max(max_prog, cc.cone_program(n).size());
+  }
+  ASSERT_GE(max_prog, kScanMinProgWords)
+      << "circuit no longer exercises the scan walk; enlarge it";
+
+  const auto fl = fault::FaultList::collapsed(nl);
+  FaultSim fsim(nl, fl);
+  ReferenceFaultSim ref(nl, fl);
+  util::Rng rng(9);
+  const PatternSet ps = PatternSet::random(nl.num_inputs(), 192, rng);
+  const FaultSimResult got = fsim.run(ps, true, /*parallel=*/false);
+  const FaultSimResult want = ref.run(ps, true, /*parallel=*/false);
+  EXPECT_EQ(got.detected, want.detected);
+  EXPECT_EQ(got.earliest, want.earliest);
+}
+
+TEST(CompiledEquiv, FaultSimParallelMatchesSerial) {
+  const Netlist nl = test_circuits()[2];
+  const auto fl = fault::FaultList::collapsed(nl);
+  FaultSim fsim(nl, fl);
+  util::Rng rng(21);
+  const PatternSet ps = PatternSet::random(nl.num_inputs(), 320, rng);
+  const FaultSimResult par = fsim.run(ps, true, true);
+  const FaultSimResult ser = fsim.run(ps, true, false);
+  EXPECT_EQ(par.detected, ser.detected);
+  EXPECT_EQ(par.earliest, ser.earliest);
+}
+
+TEST(CompiledEquiv, SharedCompilationMatchesPrivate) {
+  const Netlist nl = test_circuits()[1];
+  const auto fl = fault::FaultList::collapsed(nl);
+  const auto shared = std::make_shared<netlist::CompiledCircuit>(nl);
+  FaultSim owns(nl, fl);
+  FaultSim borrows(nl, fl, shared);
+  EXPECT_EQ(&borrows.compiled(), shared.get());
+  util::Rng rng(3);
+  const PatternSet ps = PatternSet::random(nl.num_inputs(), 96, rng);
+  const FaultSimResult a = owns.run(ps);
+  const FaultSimResult b = borrows.run(ps);
+  EXPECT_EQ(a.detected, b.detected);
+  EXPECT_EQ(a.earliest, b.earliest);
+}
+
+}  // namespace
+}  // namespace fbist::sim
