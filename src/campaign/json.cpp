@@ -1,0 +1,119 @@
+#include "campaign/json.h"
+
+#include <cstdio>
+
+namespace fbist::campaign {
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::newline_indent() {
+  out_ += '\n';
+  out_.append(stack_.size() * 2, ' ');
+}
+
+void JsonWriter::comma_for_value() {
+  if (after_key_) {
+    after_key_ = false;
+    return;  // value sits on the key's line
+  }
+  if (!stack_.empty()) {
+    if (stack_.back().has_element) out_ += ',';
+    stack_.back().has_element = true;
+    newline_indent();
+  }
+}
+
+void JsonWriter::begin_object() {
+  comma_for_value();
+  out_ += '{';
+  stack_.push_back({});
+}
+
+void JsonWriter::end_object() {
+  const bool had = stack_.back().has_element;
+  stack_.pop_back();
+  if (had) newline_indent();
+  out_ += '}';
+}
+
+void JsonWriter::begin_array() {
+  comma_for_value();
+  out_ += '[';
+  stack_.push_back({});
+}
+
+void JsonWriter::end_array() {
+  const bool had = stack_.back().has_element;
+  stack_.pop_back();
+  if (had) newline_indent();
+  out_ += ']';
+}
+
+void JsonWriter::key(const std::string& k) {
+  if (stack_.back().has_element) out_ += ',';
+  stack_.back().has_element = true;
+  newline_indent();
+  out_ += '"';
+  out_ += escape(k);
+  out_ += "\": ";
+  after_key_ = true;
+}
+
+void JsonWriter::value(const std::string& v) {
+  comma_for_value();
+  out_ += '"';
+  out_ += escape(v);
+  out_ += '"';
+}
+
+void JsonWriter::value(const char* v) { value(std::string(v)); }
+
+void JsonWriter::value(std::uint64_t v) {
+  comma_for_value();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(int v) {
+  comma_for_value();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(bool v) {
+  comma_for_value();
+  out_ += v ? "true" : "false";
+}
+
+void JsonWriter::value_fixed(double v, int digits) {
+  comma_for_value();
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  out_ += buf;
+}
+
+void JsonWriter::null_value() {
+  comma_for_value();
+  out_ += "null";
+}
+
+}  // namespace fbist::campaign

@@ -1,0 +1,74 @@
+// Campaign results: one record per run, in spec expansion order.
+//
+// The report is the campaign's product — the material the paper's
+// Tables 1-2 and the T-sweep curves are built from.  Records land at
+// spec-assigned positions regardless of which worker produced them, so
+// a report (and its canonical JSON form) is bit-identical at 1 and N
+// workers.  Wall-clock timings are collected alongside but excluded
+// from the canonical JSON; to_json(/*include_timing=*/true) appends
+// them in a separate "execution" section for perf archaeology.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "campaign/spec.h"
+
+namespace fbist::campaign {
+
+/// Outcome of one campaign run.  `ok == false` means the run (or its
+/// circuit's preparation) failed; `error` carries the message and the
+/// solution fields stay zero — one bad run never aborts the campaign.
+struct RunResult {
+  RunSpec spec;
+  bool ok = false;
+  std::string error;
+
+  // Circuit context (shared by every run of the circuit).
+  std::size_t circuit_inputs = 0;
+  std::size_t circuit_gates = 0;
+  std::size_t atpg_patterns = 0;
+  std::size_t faults_targeted = 0;
+
+  // Solution statistics (reseed::ReseedingSolution).
+  std::size_t num_triplets = 0;
+  std::size_t test_length = 0;
+  std::size_t faults_covered = 0;
+  std::size_t faults_uncoverable = 0;
+  std::size_t necessary_triplets = 0;
+  std::size_t solver_triplets = 0;
+  bool solver_optimal = false;
+  std::size_t rom_bits = 0;
+
+  double coverage_percent() const {
+    return faults_targeted == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(faults_covered) /
+                     static_cast<double>(faults_targeted);
+  }
+
+  /// Wall time of this run's evaluation (not in canonical JSON).
+  double wall_ms = 0.0;
+};
+
+struct Report {
+  std::vector<RunResult> runs;  // spec expansion order
+
+  /// Execution metadata (not in canonical JSON).
+  std::size_t jobs = 0;
+  double wall_ms = 0.0;
+
+  std::size_t num_ok() const;
+  std::size_t num_failed() const { return runs.size() - num_ok(); }
+  bool all_ok() const { return num_ok() == runs.size(); }
+
+  /// Canonical JSON document.  Deterministic for a given spec; timings
+  /// and worker counts only appear when `include_timing` is set.
+  std::string to_json(bool include_timing = false) const;
+
+  /// Human-readable summary table (one row per run).
+  std::string summary() const;
+};
+
+}  // namespace fbist::campaign

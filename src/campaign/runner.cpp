@@ -1,0 +1,121 @@
+#include "campaign/runner.h"
+
+#include <exception>
+#include <map>
+
+#include "reseed/serialize.h"
+#include "util/timer.h"
+
+namespace fbist::campaign {
+
+namespace {
+
+/// Shared per-circuit state: the prepared snapshot (or the preparation
+/// error) plus the report positions of the circuit's runs.
+struct CircuitCtx {
+  std::string name;
+  std::vector<std::size_t> run_ids;  // indices into Report::runs
+  reseed::PreparedCircuit prepared;  // null on failure
+  std::string error;
+};
+
+void execute_run(const CircuitCtx& ctx, RunResult& out) {
+  util::Timer timer;
+  if (ctx.prepared == nullptr) {
+    out.ok = false;
+    out.error = "circuit preparation failed: " + ctx.error;
+    return;
+  }
+  try {
+    const reseed::Pipeline& p = *ctx.prepared;
+    reseed::OptimizerOptions oopt = p.options().optimizer;
+    oopt.solver = out.spec.solver;
+    const reseed::ReseedingSolution sol =
+        p.run(out.spec.tpg, out.spec.cycles, oopt);
+
+    out.circuit_inputs = p.circuit().num_inputs();
+    out.circuit_gates = p.circuit().num_gates();
+    out.atpg_patterns = p.atpg_patterns().size();
+    out.faults_targeted = sol.faults_targeted;
+    out.num_triplets = sol.num_triplets();
+    out.test_length = sol.test_length;
+    out.faults_covered = sol.faults_covered;
+    out.faults_uncoverable = sol.faults_uncoverable;
+    out.necessary_triplets = sol.necessary_count;
+    out.solver_triplets = sol.solver_count;
+    out.solver_optimal = sol.solver_optimal;
+    out.rom_bits = reseed::to_rom_image(sol, out.spec.circuit,
+                                        tpg::tpg_kind_name(out.spec.tpg),
+                                        p.circuit().num_inputs())
+                       .rom_bits();
+    out.ok = true;
+  } catch (const std::exception& e) {
+    out.ok = false;
+    out.error = e.what();
+  } catch (...) {
+    out.ok = false;
+    out.error = "unknown error";
+  }
+  out.wall_ms = timer.millis();
+}
+
+}  // namespace
+
+Report run_campaign(const CampaignSpec& spec, const CampaignOptions& opts,
+                    Scheduler* sched) {
+  spec.validate();
+  Scheduler* s = sched;
+  if (s == nullptr) {
+    s = &Scheduler::global();
+    if (opts.jobs != 0 && opts.jobs != s->num_workers()) {
+      s->set_workers(opts.jobs);
+    }
+  }
+
+  util::Timer timer;
+  Report report;
+  report.jobs = s->num_workers();
+  const std::vector<RunSpec> runs = spec.expand();
+  report.runs.resize(runs.size());
+  for (std::size_t i = 0; i < runs.size(); ++i) report.runs[i].spec = runs[i];
+
+  // Distinct circuits, first-appearance order; duplicate names in the
+  // spec share one preparation.
+  std::vector<CircuitCtx> circuits;
+  {
+    std::map<std::string, std::size_t> index;
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      auto [it, inserted] = index.emplace(runs[i].circuit, circuits.size());
+      if (inserted) circuits.push_back(CircuitCtx{runs[i].circuit, {}, {}, {}});
+      circuits[it->second].run_ids.push_back(i);
+    }
+  }
+
+  // One task per circuit: prepare, then fan this circuit's runs out as
+  // nested tasks (no barrier — fast circuits evaluate while slow ones
+  // still run ATPG).  `group` outlives every nested submission because
+  // wait() returns only when the count of *all* submitted tasks,
+  // including nested ones, reaches zero.
+  TaskGroup group(*s);
+  for (CircuitCtx& ctx : circuits) {
+    group.run([&group, &report, &ctx, &spec] {
+      try {
+        ctx.prepared = reseed::Pipeline::prepare(load_circuit(ctx.name),
+                                                 ctx.name, spec.pipeline);
+      } catch (const std::exception& e) {
+        ctx.error = e.what();
+      } catch (...) {
+        ctx.error = "unknown error";
+      }
+      for (const std::size_t rid : ctx.run_ids) {
+        group.run([&ctx, &report, rid] { execute_run(ctx, report.runs[rid]); });
+      }
+    });
+  }
+  group.wait();
+
+  report.wall_ms = timer.millis();
+  return report;
+}
+
+}  // namespace fbist::campaign

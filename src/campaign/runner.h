@@ -1,0 +1,44 @@
+// Campaign execution: a CampaignSpec on the shared work-stealing pool.
+//
+// Per distinct circuit one preparation task runs (parse/instantiate,
+// compile to netlist::CompiledCircuit, collapse faults, ATPG); the
+// prepared snapshot (reseed::PreparedCircuit) is immutable, so every
+// run of that circuit — TPG kind x T value x solver — fans out as its
+// own task over the shared handle without re-deriving anything.  Run
+// tasks are submitted by their circuit's preparation task, so fast
+// circuits start evaluating while slow ones still prepare, and the
+// PPSFP inner loops of every run join the same pool (see
+// campaign/scheduler.h).
+//
+// Failure isolation: an exception inside preparation or a run is
+// caught and recorded on the affected RunResult(s); the rest of the
+// campaign is unaffected.
+//
+// Determinism: results land at spec-assigned report positions and all
+// randomness is seeded from circuit/TPG identities, so the Report —
+// and its canonical JSON — is bit-identical at 1 and N workers.
+#pragma once
+
+#include <cstddef>
+
+#include "campaign/report.h"
+#include "campaign/scheduler.h"
+#include "campaign/spec.h"
+
+namespace fbist::campaign {
+
+struct CampaignOptions {
+  /// Worker threads.  0 keeps the current pool size; a nonzero value
+  /// resizes the global scheduler (ignored when an explicit scheduler
+  /// is passed to run_campaign).
+  std::size_t jobs = 0;
+};
+
+/// Executes the spec and returns the filled report.  Uses the global
+/// scheduler unless `sched` is given (tests pass private pools).
+/// Throws only on a degenerate spec (see CampaignSpec::validate);
+/// per-run failures are reported, not thrown.
+Report run_campaign(const CampaignSpec& spec, const CampaignOptions& opts = {},
+                    Scheduler* sched = nullptr);
+
+}  // namespace fbist::campaign

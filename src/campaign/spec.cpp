@@ -1,0 +1,144 @@
+#include "campaign/spec.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "circuits/registry.h"
+#include "netlist/bench_io.h"
+
+namespace fbist::campaign {
+
+std::string run_label(const RunSpec& rs) {
+  return rs.circuit + "/" + tpg::tpg_kind_name(rs.tpg) + "/T" +
+         std::to_string(rs.cycles) + "/" + solver_name(rs.solver);
+}
+
+std::vector<RunSpec> CampaignSpec::expand() const {
+  std::vector<RunSpec> runs;
+  runs.reserve(circuits.size() * tpgs.size() * cycle_values.size() *
+               solvers.size());
+  for (const auto& circuit : circuits) {
+    for (const auto kind : tpgs) {
+      for (const auto cycles : cycle_values) {
+        for (const auto solver : solvers) {
+          runs.push_back(RunSpec{circuit, kind, cycles, solver});
+        }
+      }
+    }
+  }
+  return runs;
+}
+
+void CampaignSpec::validate() const {
+  if (circuits.empty()) {
+    throw std::invalid_argument("campaign spec: no circuits");
+  }
+  if (tpgs.empty()) throw std::invalid_argument("campaign spec: no TPG kinds");
+  if (cycle_values.empty()) {
+    throw std::invalid_argument("campaign spec: no cycle values");
+  }
+  if (solvers.empty()) throw std::invalid_argument("campaign spec: no solvers");
+  for (const auto cycles : cycle_values) {
+    if (cycles == 0) {
+      throw std::invalid_argument("campaign spec: cycles must be >= 1");
+    }
+  }
+}
+
+tpg::TpgKind parse_tpg_kind(const std::string& name) {
+  if (name == "adder") return tpg::TpgKind::kAdder;
+  if (name == "subtracter") return tpg::TpgKind::kSubtracter;
+  if (name == "multiplier") return tpg::TpgKind::kMultiplier;
+  if (name == "lfsr") return tpg::TpgKind::kLfsr;
+  throw std::runtime_error(
+      "unknown TPG kind: " + name +
+      " (expected adder|subtracter|multiplier|lfsr)");
+}
+
+reseed::SolverChoice parse_solver(const std::string& name) {
+  if (name == "exact") return reseed::SolverChoice::kExact;
+  if (name == "greedy") return reseed::SolverChoice::kGreedy;
+  throw std::runtime_error("unknown solver: " + name +
+                           " (expected exact|greedy)");
+}
+
+const char* solver_name(reseed::SolverChoice s) {
+  return s == reseed::SolverChoice::kExact ? "exact" : "greedy";
+}
+
+CampaignSpec parse_spec(std::istream& in) {
+  CampaignSpec spec;
+  // The defaulted lists are replaced wholesale by the first matching
+  // key; subsequent lines of the same key append.
+  bool saw_tpgs = false, saw_cycles = false, saw_solvers = false;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string key;
+    if (!(ls >> key)) continue;  // blank / comment-only line
+    const auto fail = [&](const std::string& msg) -> std::runtime_error {
+      return std::runtime_error("campaign spec line " +
+                                std::to_string(lineno) + ": " + msg);
+    };
+    std::string tok;
+    if (key == "circuits" || key == "circuit") {
+      while (ls >> tok) spec.circuits.push_back(tok);
+    } else if (key == "tpgs" || key == "tpg") {
+      if (!saw_tpgs) spec.tpgs.clear();
+      saw_tpgs = true;
+      while (ls >> tok) spec.tpgs.push_back(parse_tpg_kind(tok));
+    } else if (key == "cycles") {
+      if (!saw_cycles) spec.cycle_values.clear();
+      saw_cycles = true;
+      while (ls >> tok) {
+        std::size_t pos = 0;
+        unsigned long v = 0;
+        try {
+          v = std::stoul(tok, &pos);
+        } catch (const std::exception&) {
+          throw fail("bad cycle count '" + tok + "'");
+        }
+        if (pos != tok.size() || v == 0) {
+          throw fail("bad cycle count '" + tok + "'");
+        }
+        spec.cycle_values.push_back(v);
+      }
+    } else if (key == "solvers" || key == "solver") {
+      if (!saw_solvers) spec.solvers.clear();
+      saw_solvers = true;
+      while (ls >> tok) spec.solvers.push_back(parse_solver(tok));
+    } else {
+      throw fail("unknown key '" + key + "'");
+    }
+  }
+  spec.validate();
+  return spec;
+}
+
+CampaignSpec parse_spec_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_spec(in);
+}
+
+CampaignSpec parse_spec_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open campaign spec: " + path);
+  return parse_spec(in);
+}
+
+bool is_bench_path(const std::string& arg) {
+  return arg.find(".bench") != std::string::npos ||
+         arg.find('/') != std::string::npos;
+}
+
+netlist::Netlist load_circuit(const std::string& arg) {
+  if (is_bench_path(arg)) return netlist::parse_bench_file(arg);
+  return circuits::make_circuit(arg);
+}
+
+}  // namespace fbist::campaign

@@ -2,39 +2,38 @@
 
 #include <array>
 
-#include "netlist/levelize.h"
+#include "netlist/compiled.h"
 
 namespace fbist::fault {
 
+using netlist::CompiledCircuit;
 using netlist::GateType;
 using netlist::Netlist;
 using netlist::NetId;
 
-std::vector<Fault> collapse_faults(const Netlist& nl) {
-  const auto reach = netlist::reaches_output(nl);
-  const auto& fanouts = nl.fanouts();
+std::vector<Fault> collapse_faults(const CompiledCircuit& cc) {
+  const std::size_t num_nets = cc.num_nets();
 
-  // keep[net][polarity]: the fault survives collapsing.
-  std::vector<std::array<bool, 2>> keep(nl.num_nets(), {true, true});
-
-  for (NetId n = 0; n < nl.num_nets(); ++n) {
-    if (!reach[n]) {
-      keep[n] = {false, false};
-      continue;
-    }
+  // keep[net][polarity]: the fault survives collapsing.  Faults on dead
+  // logic (no path to a primary output) are undetectable by
+  // construction and dropped up front.
+  std::vector<std::array<bool, 2>> keep(num_nets);
+  for (NetId n = 0; n < num_nets; ++n) {
+    const bool reach = cc.reaches_output(n);
+    keep[n] = {reach, reach};
   }
 
   // A net fault is collapsible into its (single) reader when the net is
   // fanout-free, not a primary output, and the reader's function makes
   // the faults equivalent.
-  for (NetId n = 0; n < nl.num_nets(); ++n) {
-    if (!reach[n]) continue;
-    if (fanouts[n].size() != 1) continue;
-    if (nl.output_index(n) != static_cast<std::size_t>(-1)) continue;
-    const NetId reader = fanouts[n][0];
-    if (!reach[reader]) continue;
-    const GateType t = nl.gate(reader).type;
-    switch (t) {
+  for (NetId n = 0; n < num_nets; ++n) {
+    if (!cc.reaches_output(n)) continue;
+    const netlist::Span<NetId> fanout = cc.fanout(n);
+    if (fanout.size() != 1) continue;
+    if (cc.output_index(n) != static_cast<std::size_t>(-1)) continue;
+    const NetId reader = fanout[0];
+    if (!cc.reaches_output(reader)) continue;
+    switch (cc.type(reader)) {
       case GateType::kBuf:
         // in/0 == out/0, in/1 == out/1 — drop both input faults.
         keep[n] = {false, false};
@@ -65,20 +64,29 @@ std::vector<Fault> collapse_faults(const Netlist& nl) {
   }
 
   std::vector<Fault> out;
-  for (NetId n = 0; n < nl.num_nets(); ++n) {
+  for (NetId n = 0; n < num_nets; ++n) {
     if (keep[n][0]) out.push_back(Fault{n, false});
     if (keep[n][1]) out.push_back(Fault{n, true});
   }
   return out;
 }
 
-std::size_t full_fault_count(const Netlist& nl) {
-  const auto reach = netlist::reaches_output(nl);
+std::vector<Fault> collapse_faults(const Netlist& nl) {
+  // Structure-only compile: no cone slices, and unlike the old
+  // Netlist::fanouts() path no lazy mutable caches on the netlist.
+  return collapse_faults(CompiledCircuit(nl, /*build_cone_slices=*/false));
+}
+
+std::size_t full_fault_count(const CompiledCircuit& cc) {
   std::size_t n = 0;
-  for (netlist::NetId id = 0; id < nl.num_nets(); ++id) {
-    if (reach[id]) n += 2;
+  for (NetId id = 0; id < cc.num_nets(); ++id) {
+    if (cc.reaches_output(id)) n += 2;
   }
   return n;
+}
+
+std::size_t full_fault_count(const Netlist& nl) {
+  return full_fault_count(CompiledCircuit(nl, /*build_cone_slices=*/false));
 }
 
 }  // namespace fbist::fault

@@ -25,6 +25,10 @@ FaultList FaultList::collapsed(const netlist::Netlist& nl) {
   return FaultList(collapse_faults(nl));
 }
 
+FaultList FaultList::collapsed(const netlist::CompiledCircuit& cc) {
+  return FaultList(collapse_faults(cc));
+}
+
 std::size_t FaultList::find(const Fault& f) const {
   for (std::size_t i = 0; i < faults_.size(); ++i) {
     if (faults_[i] == f) return i;

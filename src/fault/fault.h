@@ -15,6 +15,10 @@
 
 #include "netlist/netlist.h"
 
+namespace fbist::netlist {
+class CompiledCircuit;
+}
+
 namespace fbist::fault {
 
 /// One single stuck-at fault: `net` permanently at value `stuck_value`.
@@ -36,6 +40,9 @@ std::string fault_name(const netlist::Netlist& nl, const Fault& f);
 /// column indices of the Detection Matrix throughout the library.
 class FaultList {
  public:
+  /// Empty list — a placeholder until one of the factories assigns.
+  FaultList() = default;
+
   /// Full (uncollapsed) list: both polarities on every net that reaches
   /// a primary output (faults on dead logic are undetectable by
   /// construction and excluded up front).
@@ -43,6 +50,10 @@ class FaultList {
 
   /// Structurally collapsed list (see fault/collapse.h).
   static FaultList collapsed(const netlist::Netlist& nl);
+  /// Collapses over an existing compiled form — no private recompile,
+  /// no lazy Netlist caches (the pipeline shares one CompiledCircuit
+  /// across collapsing, ATPG and fault simulation).
+  static FaultList collapsed(const netlist::CompiledCircuit& cc);
 
   std::size_t size() const { return faults_.size(); }
   const Fault& operator[](std::size_t i) const { return faults_[i]; }

@@ -32,15 +32,19 @@ InitialReseeding build_initial_reseeding(const sim::FaultSim& fsim,
   out.matrix = cover::DetectionMatrix(M, F);
   std::vector<std::vector<std::uint32_t>> earliest(M);
 
-  // Each row is an independent fault-sim campaign; the fault simulator
-  // already parallelises across faults, so rows run sequentially here to
-  // avoid nested thread pools.
-  for (std::size_t i = 0; i < M; ++i) {
+  // Each row is an independent fault-sim campaign writing only its own
+  // matrix row, so rows parallelise freely on the shared work-stealing
+  // pool: the nested per-fault loops inside fsim.run compose with this
+  // one (idle workers join whichever granularity has work) instead of
+  // oversubscribing, and the result is bit-identical at any worker
+  // count.
+  util::parallel_for(M, [&](std::size_t i) {
     const sim::PatternSet ts = tpg::expand_triplet(tpg, out.triplets[i]);
-    const sim::FaultSimResult r = fsim.run(ts, /*stop_after_first_detection=*/true);
+    const sim::FaultSimResult r =
+        fsim.run(ts, /*stop_after_first_detection=*/true);
     out.matrix.set_row(i, r.detected);
     earliest[i] = r.earliest;
-  }
+  });
   out.matrix.attach_earliest(std::move(earliest));
 
   const util::BitVector coverable = out.matrix.coverable();

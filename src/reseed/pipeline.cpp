@@ -7,22 +7,29 @@ namespace fbist::reseed {
 Pipeline::Pipeline(const std::string& circuit_name, PipelineOptions opts)
     : name_(circuit_name),
       opts_(opts),
-      nl_(circuits::make_circuit(circuit_name)),
-      faults_(fault::FaultList::collapsed(nl_)) {
+      nl_(circuits::make_circuit(circuit_name)) {
   init();
 }
 
 Pipeline::Pipeline(netlist::Netlist nl, std::string name, PipelineOptions opts)
-    : name_(std::move(name)),
-      opts_(opts),
-      nl_(std::move(nl)),
-      faults_(fault::FaultList::collapsed(nl_)) {
+    : name_(std::move(name)), opts_(opts), nl_(std::move(nl)) {
   init();
 }
 
+PreparedCircuit Pipeline::prepare(const std::string& circuit_name,
+                                  PipelineOptions opts) {
+  return std::make_shared<const Pipeline>(circuit_name, opts);
+}
+
+PreparedCircuit Pipeline::prepare(netlist::Netlist nl, std::string name,
+                                  PipelineOptions opts) {
+  return std::make_shared<const Pipeline>(std::move(nl), std::move(name), opts);
+}
+
 void Pipeline::init() {
-  // Compile the circuit once; ATPG, PODEM, and every fault-simulation
-  // campaign below (and across all TPG kinds / T values) share it.
+  // Compile the circuit once; fault collapsing, ATPG, PODEM, and every
+  // fault-simulation campaign below (and across all TPG kinds / T
+  // values) share it — the structure is derived exactly once.
   compiled_ = std::make_shared<const netlist::CompiledCircuit>(nl_);
 
   // TestGen substitute: deterministic ATPG provides the complete test
@@ -31,7 +38,7 @@ void Pipeline::init() {
   // list (the paper's F is the ATPG tool's detected-fault list, and
   // coverable fault coverage is measured against it).
   {
-    const fault::FaultList all = fault::FaultList::collapsed(nl_);
+    const fault::FaultList all = fault::FaultList::collapsed(*compiled_);
     atpg::AtpgOptions aopts = opts_.atpg;
     aopts.seed ^= util::hash_string(name_);
     atpg_ = atpg::run_atpg(nl_, all, aopts, compiled_);
@@ -49,19 +56,30 @@ void Pipeline::init() {
 }
 
 std::pair<InitialReseeding, ReseedingSolution> Pipeline::run_detailed(
-    tpg::TpgKind kind, std::size_t cycles) const {
+    tpg::TpgKind kind, std::size_t cycles,
+    const OptimizerOptions& optimizer) const {
   const auto tpg = tpg::make_tpg(kind, nl_.num_inputs());
   BuilderOptions b = opts_.builder;
   if (cycles != 0) b.cycles_per_triplet = cycles;
   b.seed ^= util::hash_string(name_) ^ static_cast<std::uint64_t>(kind);
   InitialReseeding initial =
       build_initial_reseeding(*fsim_, *tpg, atpg_.patterns, b);
-  ReseedingSolution sol = optimize(initial, opts_.optimizer);
+  ReseedingSolution sol = optimize(initial, optimizer);
   return {std::move(initial), std::move(sol)};
 }
 
+std::pair<InitialReseeding, ReseedingSolution> Pipeline::run_detailed(
+    tpg::TpgKind kind, std::size_t cycles) const {
+  return run_detailed(kind, cycles, opts_.optimizer);
+}
+
+ReseedingSolution Pipeline::run(tpg::TpgKind kind, std::size_t cycles,
+                                const OptimizerOptions& optimizer) const {
+  return run_detailed(kind, cycles, optimizer).second;
+}
+
 ReseedingSolution Pipeline::run(tpg::TpgKind kind, std::size_t cycles) const {
-  return run_detailed(kind, cycles).second;
+  return run_detailed(kind, cycles, opts_.optimizer).second;
 }
 
 }  // namespace fbist::reseed

@@ -37,6 +37,12 @@ struct PipelineOptions {
 };
 
 /// Per-circuit context reusable across TPGs.
+///
+/// All run entry points are const: once constructed, a Pipeline is an
+/// immutable "prepared circuit" — netlist, compiled form, collapsed
+/// fault list and ATPG test set — safe to share across threads.  The
+/// campaign layer prepares each circuit once (see prepare()) and fans
+/// N runs out over the shared snapshot.
 class Pipeline {
  public:
   /// Builds the context for a registry circuit (see circuits/registry.h).
@@ -44,14 +50,30 @@ class Pipeline {
   /// Builds the context for an arbitrary netlist.
   Pipeline(netlist::Netlist nl, std::string name, PipelineOptions opts = {});
 
+  /// Shareable const handle: N campaign runs (TPG kinds x T values x
+  /// solvers) reuse one compile + ATPG through it.
+  static std::shared_ptr<const Pipeline> prepare(
+      const std::string& circuit_name, PipelineOptions opts = {});
+  static std::shared_ptr<const Pipeline> prepare(netlist::Netlist nl,
+                                                 std::string name,
+                                                 PipelineOptions opts = {});
+
   /// Runs Initial Reseeding Builder + optimizer for one TPG kind.
   /// Overrides the per-triplet evolution length when `cycles` != 0.
   ReseedingSolution run(tpg::TpgKind kind, std::size_t cycles = 0) const;
+
+  /// Like run(), but with per-run optimizer options (campaigns cross
+  /// solver choices without re-preparing the circuit).
+  ReseedingSolution run(tpg::TpgKind kind, std::size_t cycles,
+                        const OptimizerOptions& optimizer) const;
 
   /// Like run(), but also returns the initial reseeding (for benches
   /// that inspect the matrix itself).
   std::pair<InitialReseeding, ReseedingSolution> run_detailed(
       tpg::TpgKind kind, std::size_t cycles = 0) const;
+  std::pair<InitialReseeding, ReseedingSolution> run_detailed(
+      tpg::TpgKind kind, std::size_t cycles,
+      const OptimizerOptions& optimizer) const;
 
   const std::string& name() const { return name_; }
   const netlist::Netlist& circuit() const { return nl_; }
@@ -73,5 +95,8 @@ class Pipeline {
   std::unique_ptr<sim::FaultSim> fsim_;
   atpg::AtpgResult atpg_;
 };
+
+/// The shareable prepared-circuit handle campaigns pass around.
+using PreparedCircuit = std::shared_ptr<const Pipeline>;
 
 }  // namespace fbist::reseed

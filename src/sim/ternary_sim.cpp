@@ -4,6 +4,7 @@
 
 namespace fbist::sim {
 
+using netlist::CompiledCircuit;
 using netlist::GateType;
 using netlist::Netlist;
 using netlist::NetId;
@@ -32,62 +33,69 @@ TernaryValue t_xor(TernaryValue a, TernaryValue b) {
   return a == b ? TernaryValue::k0 : TernaryValue::k1;
 }
 
-TernaryValue eval_ternary(GateType type, const std::vector<TernaryValue>& in) {
+/// Evaluates one gate over the per-net value array via the compiled
+/// CSR fanin span — no per-gate fanin buffer copies.
+TernaryValue eval_ternary(GateType type, const netlist::Span<NetId> fanin,
+                          const std::vector<TernaryValue>& v) {
   switch (type) {
     case GateType::kInput:
       throw std::logic_error("eval_ternary on primary input");
     case GateType::kBuf:
-      return in[0];
+      return v[fanin[0]];
     case GateType::kNot:
-      return t_not(in[0]);
+      return t_not(v[fanin[0]]);
     case GateType::kAnd:
     case GateType::kNand: {
-      TernaryValue v = in[0];
-      for (std::size_t i = 1; i < in.size(); ++i) v = t_and(v, in[i]);
-      return type == GateType::kNand ? t_not(v) : v;
+      TernaryValue r = v[fanin[0]];
+      for (std::size_t i = 1; i < fanin.size(); ++i) r = t_and(r, v[fanin[i]]);
+      return type == GateType::kNand ? t_not(r) : r;
     }
     case GateType::kOr:
     case GateType::kNor: {
-      TernaryValue v = in[0];
-      for (std::size_t i = 1; i < in.size(); ++i) v = t_or(v, in[i]);
-      return type == GateType::kNor ? t_not(v) : v;
+      TernaryValue r = v[fanin[0]];
+      for (std::size_t i = 1; i < fanin.size(); ++i) r = t_or(r, v[fanin[i]]);
+      return type == GateType::kNor ? t_not(r) : r;
     }
     case GateType::kXor:
     case GateType::kXnor: {
-      TernaryValue v = in[0];
-      for (std::size_t i = 1; i < in.size(); ++i) v = t_xor(v, in[i]);
-      return type == GateType::kXnor ? t_not(v) : v;
+      TernaryValue r = v[fanin[0]];
+      for (std::size_t i = 1; i < fanin.size(); ++i) r = t_xor(r, v[fanin[i]]);
+      return type == GateType::kXnor ? t_not(r) : r;
     }
   }
   return TernaryValue::kX;
 }
 
-std::vector<TernaryValue> simulate_impl(const Netlist& nl,
-                                        const atpg::TestCube& cube,
-                                        const fault::Fault* fault) {
-  if (cube.pattern.bits() != nl.num_inputs()) {
+}  // namespace
+
+TernarySim::TernarySim(const Netlist& nl)
+    : cc_(std::make_shared<const CompiledCircuit>(
+          nl, /*build_cone_slices=*/false)) {}
+
+TernarySim::TernarySim(std::shared_ptr<const CompiledCircuit> compiled)
+    : cc_(std::move(compiled)) {}
+
+std::vector<TernaryValue> TernarySim::simulate_impl(
+    const atpg::TestCube& cube, const fault::Fault* fault) const {
+  const CompiledCircuit& cc = *cc_;
+  if (cube.pattern.bits() != cc.num_inputs()) {
     throw std::invalid_argument("ternary_simulate: cube width mismatch");
   }
-  std::vector<TernaryValue> v(nl.num_nets(), TernaryValue::kX);
-  const auto& inputs = nl.inputs();
+  std::vector<TernaryValue> v(cc.num_nets(), TernaryValue::kX);
+  const auto& inputs = cc.inputs();
   for (std::size_t i = 0; i < inputs.size(); ++i) {
     if (cube.care.get_bit(i)) {
-      v[inputs[i]] = cube.pattern.get_bit(i) ? TernaryValue::k1 : TernaryValue::k0;
+      v[inputs[i]] =
+          cube.pattern.get_bit(i) ? TernaryValue::k1 : TernaryValue::k0;
     }
   }
-  if (fault != nullptr && nl.gate(fault->net).type == GateType::kInput) {
+  // A faulty input net holds its stuck value even when the cube leaves
+  // it unassigned — the fault is a *known* value in the faulty machine.
+  if (fault != nullptr && cc.type(fault->net) == GateType::kInput) {
     v[fault->net] = fault->stuck_value ? TernaryValue::k1 : TernaryValue::k0;
   }
-  std::vector<TernaryValue> fanin_buf;
-  for (NetId id = 0; id < nl.num_nets(); ++id) {
-    const auto& g = nl.gate(id);
-    if (g.type != GateType::kInput) {
-      fanin_buf.resize(g.fanin.size());
-      for (std::size_t i = 0; i < g.fanin.size(); ++i) {
-        fanin_buf[i] = v[g.fanin[i]];
-      }
-      v[id] = eval_ternary(g.type, fanin_buf);
-    }
+  for (const NetId id : cc.schedule()) {
+    v[id] = eval_ternary(cc.type(id), cc.fanin(id), v);
     if (fault != nullptr && id == fault->net) {
       v[id] = fault->stuck_value ? TernaryValue::k1 : TernaryValue::k0;
     }
@@ -95,30 +103,42 @@ std::vector<TernaryValue> simulate_impl(const Netlist& nl,
   return v;
 }
 
-}  // namespace
-
-std::vector<TernaryValue> ternary_simulate(const Netlist& nl,
-                                           const atpg::TestCube& cube) {
-  return simulate_impl(nl, cube, nullptr);
+std::vector<TernaryValue> TernarySim::simulate(const atpg::TestCube& cube) const {
+  return simulate_impl(cube, nullptr);
 }
 
-std::vector<TernaryValue> ternary_simulate_faulty(const Netlist& nl,
-                                                  const atpg::TestCube& cube,
-                                                  const fault::Fault& fault) {
-  return simulate_impl(nl, cube, &fault);
+std::vector<TernaryValue> TernarySim::simulate_faulty(
+    const atpg::TestCube& cube, const fault::Fault& fault) const {
+  return simulate_impl(cube, &fault);
 }
 
-bool cube_robustly_detects(const Netlist& nl, const atpg::TestCube& cube,
-                           const fault::Fault& fault) {
-  const auto good = ternary_simulate(nl, cube);
-  const auto bad = ternary_simulate_faulty(nl, cube, fault);
-  for (const NetId o : nl.outputs()) {
+bool TernarySim::robustly_detects(const atpg::TestCube& cube,
+                                  const fault::Fault& fault) const {
+  const auto good = simulate_impl(cube, nullptr);
+  const auto bad = simulate_impl(cube, &fault);
+  for (const NetId o : cc_->outputs()) {
     if (good[o] != TernaryValue::kX && bad[o] != TernaryValue::kX &&
         good[o] != bad[o]) {
       return true;
     }
   }
   return false;
+}
+
+std::vector<TernaryValue> ternary_simulate(const Netlist& nl,
+                                           const atpg::TestCube& cube) {
+  return TernarySim(nl).simulate(cube);
+}
+
+std::vector<TernaryValue> ternary_simulate_faulty(const Netlist& nl,
+                                                  const atpg::TestCube& cube,
+                                                  const fault::Fault& fault) {
+  return TernarySim(nl).simulate_faulty(cube, fault);
+}
+
+bool cube_robustly_detects(const Netlist& nl, const atpg::TestCube& cube,
+                           const fault::Fault& fault) {
+  return TernarySim(nl).robustly_detects(cube, fault);
 }
 
 }  // namespace fbist::sim

@@ -8,14 +8,24 @@
 // downstream users who keep cubes unfilled for ATE don't-care
 // exploitation.
 //
-// Encoding: two parallel bit-slices per net, (ones, knowns):
-//   value 0 -> ones=0, known=1;  value 1 -> ones=1, known=1;  X -> known=0.
+// The evaluator walks the flat topological schedule of a
+// netlist::CompiledCircuit — the same compiled form LogicSim streams —
+// instead of the per-gate heap walk of the seed implementation.  The
+// TernarySim class holds (or shares) the compiled snapshot so repeated
+// cube queries against one circuit compile nothing; the free functions
+// remain as the historical one-shot entry points (pinned by
+// tests/sim/ternary_sim_test.cpp) and compile privately per call.
+//
+// Encoding: per-net TernaryValue; X propagates through the standard
+// three-valued gate algebra.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "atpg/compaction.h"
 #include "fault/fault.h"
+#include "netlist/compiled.h"
 #include "netlist/netlist.h"
 #include "util/wideword.h"
 
@@ -24,19 +34,49 @@ namespace fbist::sim {
 /// Per-net ternary value.
 enum class TernaryValue : std::uint8_t { k0, k1, kX };
 
-/// Simulates the good circuit under a cube (unspecified inputs = X).
-/// Returns one TernaryValue per net.
+/// Ternary evaluator bound to one circuit's compiled schedule.
+class TernarySim {
+ public:
+  /// Compiles the structure privately (no cone slices — ternary
+  /// evaluation streams the schedule only).
+  explicit TernarySim(const netlist::Netlist& nl);
+  /// Shares an existing compiled form — e.g. the snapshot a LogicSim
+  /// or a reseed::Pipeline already holds.
+  explicit TernarySim(std::shared_ptr<const netlist::CompiledCircuit> compiled);
+
+  /// Simulates the good circuit under a cube (unspecified inputs = X).
+  /// Returns one TernaryValue per net.
+  std::vector<TernaryValue> simulate(const atpg::TestCube& cube) const;
+
+  /// Like simulate but with `fault` injected (the fault net is forced
+  /// to its stuck value — a *known* value in the faulty machine).
+  std::vector<TernaryValue> simulate_faulty(const atpg::TestCube& cube,
+                                            const fault::Fault& fault) const;
+
+  /// True iff the cube detects the fault under every completion of its
+  /// X bits: some primary output is definite in both machines and
+  /// differs.
+  bool robustly_detects(const atpg::TestCube& cube,
+                        const fault::Fault& fault) const;
+
+  const netlist::CompiledCircuit& compiled() const { return *cc_; }
+
+ private:
+  std::vector<TernaryValue> simulate_impl(const atpg::TestCube& cube,
+                                          const fault::Fault* fault) const;
+
+  std::shared_ptr<const netlist::CompiledCircuit> cc_;
+};
+
+/// One-shot wrappers (compile per call; prefer TernarySim for repeated
+/// queries on one circuit).
 std::vector<TernaryValue> ternary_simulate(const netlist::Netlist& nl,
                                            const atpg::TestCube& cube);
 
-/// Like ternary_simulate but with `fault` injected (the fault net is
-/// forced to its stuck value — a *known* value in the faulty machine).
 std::vector<TernaryValue> ternary_simulate_faulty(const netlist::Netlist& nl,
                                                   const atpg::TestCube& cube,
                                                   const fault::Fault& fault);
 
-/// True iff the cube detects the fault under every completion of its
-/// X bits: some primary output is definite in both machines and differs.
 bool cube_robustly_detects(const netlist::Netlist& nl,
                            const atpg::TestCube& cube,
                            const fault::Fault& fault);

@@ -1,14 +1,35 @@
 #include "util/parallel.h"
 
-#include <atomic>
-#include <thread>
-#include <vector>
+// The loops delegate to the process-wide work-stealing pool of the
+// campaign layer (campaign/scheduler.h): pooled workers replace the
+// historical per-call thread spawn, and loops issued from inside
+// campaign tasks compose with run-level parallelism instead of
+// oversubscribing.  util is the bottom layer elsewhere; this one
+// upward include is the bridge that keeps every caller of
+// parallel_for on the shared pool without touching call sites.
+#include "campaign/scheduler.h"
 
 namespace fbist::util {
 
+namespace {
+
+/// The pool a loop issued on this thread runs on: the scheduler owning
+/// the thread when called from a pool worker (so loops nested inside a
+/// private pool's tasks honor that pool's worker bound), else the
+/// process-wide default.
+campaign::Scheduler& loop_scheduler() {
+  campaign::Scheduler* cur = campaign::Scheduler::current();
+  return cur != nullptr ? *cur : campaign::Scheduler::global();
+}
+
+}  // namespace
+
 std::size_t parallel_workers() {
-  const unsigned hc = std::thread::hardware_concurrency();
-  return hc == 0 ? 1 : hc;
+  // Slot bound of the resolved pool: every worker plus the (possibly
+  // external) loop caller.  Callers size per-worker scratch with this
+  // on the same thread that later issues the loop, so the bound and
+  // the executing pool agree.
+  return loop_scheduler().loop_slots();
 }
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
@@ -17,29 +38,7 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
 
 void parallel_for_workers(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
-  const std::size_t workers = parallel_workers();
-  if (n == 0) return;
-  if (workers == 1 || n < 32) {
-    for (std::size_t i = 0; i < n; ++i) fn(i, 0);
-    return;
-  }
-  // Dynamic chunking: workers grab blocks of iterations from a shared
-  // counter so uneven per-item cost (fault cones differ wildly) balances.
-  std::atomic<std::size_t> next{0};
-  const std::size_t chunk = std::max<std::size_t>(1, n / (workers * 8));
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
-    pool.emplace_back([&, w] {
-      while (true) {
-        const std::size_t begin = next.fetch_add(chunk);
-        if (begin >= n) break;
-        const std::size_t end = std::min(n, begin + chunk);
-        for (std::size_t i = begin; i < end; ++i) fn(i, w);
-      }
-    });
-  }
-  for (auto& t : pool) t.join();
+  loop_scheduler().parallel_for(n, fn);
 }
 
 }  // namespace fbist::util

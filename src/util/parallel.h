@@ -2,7 +2,11 @@
 //
 // The detection-matrix construction fault-simulates every candidate
 // triplet against every fault; the work items are embarrassingly
-// parallel, so a simple static-chunk thread pool suffices.
+// parallel.  Since the campaign layer landed, these entry points are
+// thin wrappers over the process-wide work-stealing pool
+// (campaign::Scheduler::global()): workers are pooled instead of
+// spawned per call, and loops issued from inside campaign tasks join
+// the same pool instead of oversubscribing it.
 #pragma once
 
 #include <cstddef>
@@ -10,16 +14,18 @@
 
 namespace fbist::util {
 
-/// Number of worker threads parallel_for will use (>= 1).
+/// Slot bound for per-worker scratch: every pool worker plus one
+/// external loop caller (>= 2; the worker argument of
+/// parallel_for_workers is always below this).
 std::size_t parallel_workers();
 
-/// Calls fn(i) for i in [0, n), distributing chunks across threads.
-/// fn must be safe to call concurrently for distinct i.
-/// Falls back to a serial loop when n is small or one core is available.
+/// Calls fn(i) for i in [0, n), distributing chunks across the shared
+/// pool.  fn must be safe to call concurrently for distinct i.
+/// Falls back to a serial loop when n is small.
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
-/// Like parallel_for but hands each worker its thread index as well:
-/// fn(i, worker) — lets callers keep per-worker scratch buffers.
+/// Like parallel_for but hands each worker its scratch-slot index as
+/// well: fn(i, worker) — lets callers keep per-worker scratch buffers.
 void parallel_for_workers(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn);
 

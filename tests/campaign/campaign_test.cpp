@@ -1,0 +1,177 @@
+#include "campaign/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "campaign/json.h"
+
+namespace fbist::campaign {
+namespace {
+
+CampaignSpec small_sweep() {
+  CampaignSpec spec;
+  spec.circuits = {"c17", "c432", "c880"};
+  spec.tpgs = {tpg::TpgKind::kAdder, tpg::TpgKind::kLfsr};
+  spec.cycle_values = {32};
+  return spec;
+}
+
+TEST(Campaign, ReportIsBitIdenticalAcrossWorkerCounts) {
+  // The acceptance contract: a multi-circuit spec produces byte-equal
+  // canonical JSON on a 1-worker and an 8-worker pool (8 > the likely
+  // core count, so oversubscription is covered too).
+  Scheduler one(1);
+  Scheduler eight(8);
+  const CampaignSpec spec = small_sweep();
+  const Report r1 = run_campaign(spec, {}, &one);
+  const Report r8 = run_campaign(spec, {}, &eight);
+  ASSERT_EQ(r1.runs.size(), 6u);
+  EXPECT_TRUE(r1.all_ok());
+  EXPECT_TRUE(r8.all_ok());
+  EXPECT_EQ(r1.to_json(), r8.to_json());
+  // Spot-check determinism is not vacuous: real solutions inside.
+  for (const auto& r : r1.runs) {
+    EXPECT_GT(r.num_triplets, 0u) << run_label(r.spec);
+    EXPECT_GT(r.test_length, 0u) << run_label(r.spec);
+    EXPECT_EQ(r.faults_covered, r.faults_targeted) << run_label(r.spec);
+  }
+}
+
+TEST(Campaign, RunsLandAtSpecPositionsAndShareOnePreparation) {
+  Scheduler sched(4);
+  const CampaignSpec spec = small_sweep();
+  const Report rep = run_campaign(spec, {}, &sched);
+  const auto runs = spec.expand();
+  ASSERT_EQ(rep.runs.size(), runs.size());
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    EXPECT_EQ(rep.runs[i].spec.circuit, runs[i].circuit);
+    EXPECT_EQ(rep.runs[i].spec.tpg, runs[i].tpg);
+  }
+  // Both runs of one circuit saw the same prepared snapshot: identical
+  // ATPG test set and target fault list.
+  EXPECT_EQ(rep.runs[0].atpg_patterns, rep.runs[1].atpg_patterns);
+  EXPECT_EQ(rep.runs[0].faults_targeted, rep.runs[1].faults_targeted);
+}
+
+TEST(Campaign, BadBenchPathFailsItsRunsNotTheCampaign) {
+  Scheduler sched(4);
+  CampaignSpec spec;
+  spec.circuits = {"c17", "/nonexistent/broken.bench", "c432"};
+  spec.tpgs = {tpg::TpgKind::kAdder, tpg::TpgKind::kLfsr};
+  spec.cycle_values = {16};
+  const Report rep = run_campaign(spec, {}, &sched);
+  ASSERT_EQ(rep.runs.size(), 6u);
+  EXPECT_EQ(rep.num_failed(), 2u);  // both TPG runs of the bad circuit
+  EXPECT_FALSE(rep.all_ok());
+  for (const auto& r : rep.runs) {
+    if (r.spec.circuit == "/nonexistent/broken.bench") {
+      EXPECT_FALSE(r.ok);
+      EXPECT_NE(r.error.find("circuit preparation failed"),
+                std::string::npos);
+    } else {
+      EXPECT_TRUE(r.ok) << run_label(r.spec) << ": " << r.error;
+      EXPECT_EQ(r.faults_covered, r.faults_targeted);
+    }
+  }
+  // The failure is part of the deterministic canonical JSON.
+  Scheduler one(1);
+  EXPECT_EQ(run_campaign(spec, {}, &one).to_json(), rep.to_json());
+}
+
+TEST(Campaign, MalformedBenchFileIsIsolatedToo) {
+  // A file that parses as a path but not as a netlist: preparation
+  // throws inside the task, the report records it, nothing escapes.
+  const std::string path = ::testing::TempDir() + "fbist_broken.bench";
+  {
+    std::ofstream out(path);
+    out << "this is not a bench file\n";
+  }
+  Scheduler sched(2);
+  CampaignSpec spec;
+  spec.circuits = {path, "c17"};
+  spec.cycle_values = {8};
+  const Report rep = run_campaign(spec, {}, &sched);
+  ASSERT_EQ(rep.runs.size(), 2u);
+  EXPECT_FALSE(rep.runs[0].ok);
+  EXPECT_TRUE(rep.runs[1].ok);
+  std::remove(path.c_str());
+}
+
+TEST(Campaign, DuplicateCircuitNamesShareOnePreparation) {
+  Scheduler sched(2);
+  CampaignSpec spec;
+  spec.circuits = {"c17", "c17"};
+  spec.cycle_values = {8};
+  const Report rep = run_campaign(spec, {}, &sched);
+  ASSERT_EQ(rep.runs.size(), 2u);
+  EXPECT_TRUE(rep.all_ok());
+  EXPECT_EQ(rep.runs[0].num_triplets, rep.runs[1].num_triplets);
+}
+
+TEST(Campaign, SolverChoiceIsPerRun) {
+  Scheduler sched(2);
+  CampaignSpec spec;
+  spec.circuits = {"c432"};
+  spec.cycle_values = {32};
+  spec.solvers = {reseed::SolverChoice::kExact, reseed::SolverChoice::kGreedy};
+  const Report rep = run_campaign(spec, {}, &sched);
+  ASSERT_EQ(rep.runs.size(), 2u);
+  EXPECT_TRUE(rep.all_ok());
+  // Greedy may tie the exact solver but never beats it.
+  EXPECT_LE(rep.runs[0].num_triplets, rep.runs[1].num_triplets);
+  EXPECT_EQ(rep.runs[0].faults_covered, rep.runs[0].faults_targeted);
+  EXPECT_EQ(rep.runs[1].faults_covered, rep.runs[1].faults_targeted);
+}
+
+TEST(Campaign, TimingSectionIsOptIn) {
+  Scheduler sched(2);
+  CampaignSpec spec;
+  spec.circuits = {"c17"};
+  spec.cycle_values = {8};
+  const Report rep = run_campaign(spec, {}, &sched);
+  EXPECT_EQ(rep.to_json().find("execution"), std::string::npos);
+  EXPECT_NE(rep.to_json(/*include_timing=*/true).find("execution"),
+            std::string::npos);
+  EXPECT_EQ(rep.jobs, 2u);
+  EXPECT_NE(rep.summary().find("c17"), std::string::npos);
+}
+
+TEST(Campaign, DegenerateSpecThrows) {
+  Scheduler sched(1);
+  CampaignSpec spec;  // no circuits
+  EXPECT_THROW(run_campaign(spec, {}, &sched), std::invalid_argument);
+}
+
+TEST(JsonWriterTest, EscapesAndNests) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("s");
+  w.value("a\"b\\c\nd");
+  w.key("list");
+  w.begin_array();
+  w.value(std::uint64_t{7});
+  w.value(true);
+  w.null_value();
+  w.value_fixed(1.25, 2);
+  w.end_array();
+  w.key("empty");
+  w.begin_object();
+  w.end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\n"
+            "  \"s\": \"a\\\"b\\\\c\\nd\",\n"
+            "  \"list\": [\n"
+            "    7,\n"
+            "    true,\n"
+            "    null,\n"
+            "    1.25\n"
+            "  ],\n"
+            "  \"empty\": {}\n"
+            "}");
+}
+
+}  // namespace
+}  // namespace fbist::campaign

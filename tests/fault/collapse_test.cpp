@@ -4,6 +4,7 @@
 
 #include "circuits/registry.h"
 #include "fault/fault.h"
+#include "netlist/compiled.h"
 
 namespace fbist::fault {
 namespace {
@@ -125,6 +126,23 @@ TEST(Collapse, C17CollapsedCount) {
       if (f.net == nl.find(name)) ++count;
     }
     EXPECT_EQ(count, 2u) << name;
+  }
+}
+
+TEST(Collapse, CompiledOverloadMatchesNetlistPath) {
+  // The pipeline collapses over its shared CompiledCircuit; the result
+  // must be the exact fault vector of the historical Netlist path.
+  for (const char* name : {"c17", "c432", "s1238"}) {
+    const auto nl = circuits::make_circuit(name);
+    const netlist::CompiledCircuit cc(nl, /*build_cone_slices=*/false);
+    const auto via_nl = collapse_faults(nl);
+    const auto via_cc = collapse_faults(cc);
+    ASSERT_EQ(via_nl.size(), via_cc.size()) << name;
+    for (std::size_t i = 0; i < via_nl.size(); ++i) {
+      EXPECT_TRUE(via_nl[i] == via_cc[i]) << name << " fault " << i;
+    }
+    EXPECT_EQ(full_fault_count(nl), full_fault_count(cc)) << name;
+    EXPECT_EQ(FaultList::collapsed(cc).size(), via_cc.size()) << name;
   }
 }
 

@@ -6,6 +6,7 @@
 #include "circuits/generator.h"
 #include "circuits/registry.h"
 #include "sim/fault_sim.h"
+#include "util/rng.h"
 
 namespace fbist::sim {
 namespace {
@@ -142,6 +143,29 @@ TEST(TernarySim, FaultOnInputForcedEvenIfUnspecified) {
   const fault::Fault f{a, true};
   const auto v = ternary_simulate_faulty(nl, cube_of(1, 0, 0), f);
   EXPECT_EQ(v[g], TernaryValue::k1);
+}
+
+TEST(TernarySim, ClassSharesCompiledFormWithLogicSim) {
+  // The TernarySim class rides the same CompiledCircuit snapshot other
+  // engines hold; results must match the one-shot wrappers bit for bit.
+  const auto nl = circuits::make_circuit("c432");
+  LogicSim lsim(nl);
+  TernarySim tsim(lsim.compiled_ptr());
+  EXPECT_EQ(&tsim.compiled(), &lsim.compiled());
+
+  const auto fl = fault::FaultList::collapsed(nl);
+  util::Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    // c432 has 36 inputs, so one 64-bit draw covers the cube.
+    const atpg::TestCube cube =
+        cube_of(nl.num_inputs(), rng.next_u64(), rng.next_u64());
+    EXPECT_EQ(tsim.simulate(cube), ternary_simulate(nl, cube));
+    const auto& f = fl[rng.next_below(fl.size())];
+    EXPECT_EQ(tsim.simulate_faulty(cube, f),
+              ternary_simulate_faulty(nl, cube, f));
+    EXPECT_EQ(tsim.robustly_detects(cube, f),
+              cube_robustly_detects(nl, cube, f));
+  }
 }
 
 }  // namespace

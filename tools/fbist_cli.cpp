@@ -11,17 +11,32 @@
 //   replay <circuit|file.bench> <rom-file>   reload a ROM image, expand it
 //                                            and re-verify fault coverage
 //   tradeoff <circuit|file.bench> [--tpg K]  print the T sweep curve
+//   campaign [spec.txt] [options]            run a multi-circuit sweep on
+//                                            the work-stealing pool
+//       --circuits a,b,c     registry names and/or .bench paths
+//       --tpgs k1,k2         TPG kinds               (default adder)
+//       --cycles n1,n2       T values                (default 64)
+//       --solvers s1,s2      exact|greedy            (default exact)
+//       --jobs N             worker threads          (default: all cores)
+//       --json FILE          write the campaign report as JSON
+//       --timings            include wall-clock + jobs in the JSON
+//     Flags extend/override the spec file; each circuit is compiled and
+//     ATPG-prepared once and shared by all of its runs.  The report is
+//     bit-identical for any --jobs value.
 //   gen <pi> <po> <gates> <seed>             emit a synthetic .bench to stdout
 //   list                                     registry circuit names
 //
 // Circuit arguments name either a registry benchmark (c432, s1238, ...)
 // or a path to an ISCAS .bench file (sequential files are scan-flattened).
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "atpg/scoap.h"
+#include "campaign/runner.h"
 #include "circuits/generator.h"
 #include "circuits/registry.h"
 #include "cover/greedy.h"
@@ -48,27 +63,36 @@ int usage() {
       "  tradeoff <circuit> [--tpg K]\n"
       "  matrix <circuit> [--tpg K] [--cycles N] [--out FILE]\n"
       "  solve <instance.scp> [--solver exact|greedy]\n"
+      "  campaign [spec.txt] [--circuits a,b,c] [--tpgs k1,k2] [--cycles n1,n2]\n"
+      "           [--solvers exact|greedy] [--jobs N] [--json FILE] [--timings]\n"
       "  gen <pi> <po> <gates> <seed>\n"
       "  list\n"
       "circuit = registry name (see 'list') or a .bench file path\n";
   return 2;
 }
 
-bool is_bench_path(const std::string& arg) {
-  return arg.find(".bench") != std::string::npos || arg.find('/') != std::string::npos;
-}
-
 netlist::Netlist load_circuit(const std::string& arg) {
-  if (is_bench_path(arg)) return netlist::parse_bench_file(arg);
-  return circuits::make_circuit(arg);
+  return campaign::load_circuit(arg);
 }
 
 tpg::TpgKind parse_tpg(const std::string& name) {
-  if (name == "adder") return tpg::TpgKind::kAdder;
-  if (name == "subtracter") return tpg::TpgKind::kSubtracter;
-  if (name == "multiplier") return tpg::TpgKind::kMultiplier;
-  if (name == "lfsr") return tpg::TpgKind::kLfsr;
-  throw std::runtime_error("unknown TPG kind: " + name);
+  return campaign::parse_tpg_kind(name);
+}
+
+/// Strict positive-count parser: rejects signs, trailing junk and 0
+/// (std::stoul alone accepts "16junk" and wraps "-1" to 2^64-1).
+std::size_t parse_count(const std::string& tok, const char* what) {
+  std::size_t pos = 0;
+  unsigned long v = 0;
+  try {
+    v = std::stoul(tok, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (tok.empty() || tok[0] == '-' || pos != tok.size() || v == 0) {
+    throw std::runtime_error(std::string(what) + ": bad value '" + tok + "'");
+  }
+  return v;
 }
 
 struct Flags {
@@ -88,7 +112,7 @@ Flags parse_flags(const std::vector<std::string>& args, std::size_t from) {
       return args[++i];
     };
     if (args[i] == "--tpg") f.tpg = need_value("--tpg");
-    else if (args[i] == "--cycles") f.cycles = std::stoul(need_value("--cycles"));
+    else if (args[i] == "--cycles") f.cycles = parse_count(need_value("--cycles"), "--cycles");
     else if (args[i] == "--solver") f.solver = need_value("--solver");
     else if (args[i] == "--out") f.out = need_value("--out");
     else throw std::runtime_error("unknown flag: " + args[i]);
@@ -230,6 +254,83 @@ int cmd_solve(const std::string& path, const Flags& f) {
   return 0;
 }
 
+std::vector<std::string> split_commas(const std::string& arg) {
+  std::vector<std::string> out;
+  std::istringstream ss(arg);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+int cmd_campaign(const std::vector<std::string>& args) {
+  // Pass 1: a positional spec file (if any) provides the base spec;
+  // --flags then extend the circuit list and override the other lists
+  // regardless of argument order.
+  campaign::CampaignSpec spec;
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    if (args[i].rfind("--", 0) == 0) {
+      if (args[i] != "--timings") ++i;  // skip the flag's value
+      continue;
+    }
+    spec = campaign::parse_spec_file(args[i]);
+  }
+
+  campaign::CampaignOptions copts;
+  std::string json_path;
+  bool timings = false;
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    auto need_value = [&](const char* flag) -> const std::string& {
+      if (i + 1 >= args.size()) {
+        throw std::runtime_error(std::string(flag) + " needs a value");
+      }
+      return args[++i];
+    };
+    if (args[i] == "--circuits") {
+      for (auto& c : split_commas(need_value("--circuits"))) {
+        spec.circuits.push_back(c);
+      }
+    } else if (args[i] == "--tpgs") {
+      spec.tpgs.clear();
+      for (auto& t : split_commas(need_value("--tpgs"))) {
+        spec.tpgs.push_back(campaign::parse_tpg_kind(t));
+      }
+    } else if (args[i] == "--cycles") {
+      spec.cycle_values.clear();
+      for (auto& c : split_commas(need_value("--cycles"))) {
+        spec.cycle_values.push_back(parse_count(c, "--cycles"));
+      }
+    } else if (args[i] == "--solvers" || args[i] == "--solver") {
+      spec.solvers.clear();
+      for (auto& s : split_commas(need_value("--solvers"))) {
+        spec.solvers.push_back(campaign::parse_solver(s));
+      }
+    } else if (args[i] == "--jobs") {
+      copts.jobs = parse_count(need_value("--jobs"), "--jobs");
+      if (copts.jobs > 256) {
+        throw std::runtime_error("--jobs: more than 256 workers requested");
+      }
+    } else if (args[i] == "--json") {
+      json_path = need_value("--json");
+    } else if (args[i] == "--timings") {
+      timings = true;
+    } else if (args[i].rfind("--", 0) == 0) {
+      throw std::runtime_error("unknown flag: " + args[i]);
+    }
+  }
+  const campaign::Report report = campaign::run_campaign(spec, copts);
+  std::cout << report.summary();
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) throw std::runtime_error("cannot write " + json_path);
+    out << report.to_json(timings);
+    std::cout << "campaign report written to " << json_path << " ("
+              << report.runs.size() << " runs)\n";
+  }
+  return report.all_ok() ? 0 : 1;
+}
+
 int cmd_gen(const std::vector<std::string>& args) {
   if (args.size() < 6) return usage();
   circuits::GeneratorSpec spec;
@@ -251,6 +352,7 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "list") return cmd_list();
     if (cmd == "gen") return cmd_gen(args);
+    if (cmd == "campaign") return cmd_campaign(args);
     if (args.size() < 3) return usage();
     const std::string& circuit = args[2];
     if (cmd == "info") return cmd_info(circuit);
