@@ -16,12 +16,15 @@
 #include "bist/misr.h"
 #include "campaign/runner.h"
 #include "circuits/registry.h"
+#include "reseed/initial_builder.h"
+#include "tpg/accumulator.h"
 #include "tpg/triplet.h"
 #include "cover/exact.h"
 #include "cover/greedy.h"
 #include "cover/reduce.h"
 #include "sim/fault_sim.h"
 #include "sim/reference_sim.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace {
@@ -242,6 +245,74 @@ void BM_CampaignSharedPipeline(benchmark::State& state) {
 BENCHMARK(BM_CampaignSharedPipeline)
     ->Arg(1)
     ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// ---- Lane-packed detection-matrix build ----------------------------------
+//
+// The reseeding pipeline's dominant cost is the detection-matrix build:
+// one fault-simulation campaign per candidate triplet.  At the paper's
+// small T values a lone candidate fills only T of the 64 lanes of every
+// PPSFP block, so the builder lane-packs ⌊64/T⌋ candidates into shared
+// blocks (sim::pack_rows + FaultSim::run_packed).  BM_InitialMatrixBuild
+// times the packed build; BM_InitialMatrixBuildPerRow is the seed shape
+// (expand_triplet + one FaultSim::run per candidate) on identical
+// inputs, so the per-row/batched real_time ratio at each T is the
+// measured matrix-build speedup.
+void run_matrix_build_bench(benchmark::State& state, bool batched) {
+  const auto cycles = static_cast<std::size_t>(state.range(0));
+  const auto nl = circuits::make_circuit("s9234");
+  const auto fl = fault::FaultList::collapsed(nl);
+  sim::FaultSim fsim(nl, fl);
+  tpg::AdderTpg tpg(nl.num_inputs());
+  util::Rng rng(3);
+  const std::size_t M = 64;  // candidate triplets (stand-in ATPG set)
+  const auto atpg_patterns = sim::PatternSet::random(nl.num_inputs(), M, rng);
+  reseed::BuilderOptions opts;
+  opts.cycles_per_triplet = cycles;
+
+  if (batched) {
+    for (auto _ : state) {
+      auto init = reseed::build_initial_reseeding(fsim, tpg, atpg_patterns, opts);
+      benchmark::DoNotOptimize(init);
+    }
+  } else {
+    const auto init =
+        reseed::build_initial_reseeding(fsim, tpg, atpg_patterns, opts);
+    for (auto _ : state) {
+      cover::DetectionMatrix m(M, fl.size());
+      std::vector<std::vector<std::uint32_t>> earliest(M);
+      util::parallel_for(M, [&](std::size_t i) {
+        const auto ts = tpg::expand_triplet(tpg, init.triplets[i]);
+        const auto r = fsim.run(ts);
+        m.set_row(i, r.detected);
+        earliest[i] = r.earliest;
+      });
+      m.attach_earliest(std::move(earliest));
+      benchmark::DoNotOptimize(m);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(M));
+}
+
+void BM_InitialMatrixBuild(benchmark::State& state) {
+  run_matrix_build_bench(state, /*batched=*/true);
+}
+BENCHMARK(BM_InitialMatrixBuild)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_InitialMatrixBuildPerRow(benchmark::State& state) {
+  run_matrix_build_bench(state, /*batched=*/false);
+}
+BENCHMARK(BM_InitialMatrixBuildPerRow)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(32)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

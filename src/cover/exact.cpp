@@ -20,33 +20,30 @@ struct Search {
 
   /// rows_covering[c]: rows with a 1 in column c (static).
   std::vector<std::vector<std::size_t>> rows_covering;
+  /// Column ids sorted by ascending cover-degree (ties by index),
+  /// computed once per search — the bound's packing order.
+  std::vector<std::size_t> cols_by_degree;
 };
 
 /// Lower bound: pack pairwise row-disjoint uncovered columns; each needs
-/// its own row.  Greedy packing by ascending cover-degree.
+/// its own row.  Greedy packing walks the static ascending-degree column
+/// order (one pass; low-degree columns claim rows first).
 std::size_t disjoint_column_bound(const Search& s, const util::BitVector& uncovered) {
-  const std::size_t C = s.m->num_cols();
-  // Columns sorted by degree would be ideal; to stay cheap, scan in
-  // ascending index but prefer low-degree columns via two passes.
   util::BitVector used_rows(s.m->num_rows());
   std::size_t bound = 0;
-  for (std::size_t pass_degree = 1; pass_degree <= 3; ++pass_degree) {
-    for (std::size_t c = uncovered.find_first(); c < C;
-         c = uncovered.find_next(c + 1)) {
-      const auto& rows = s.rows_covering[c];
-      if (rows.size() != pass_degree && pass_degree < 3) continue;
-      if (pass_degree == 3 && rows.size() < 3) continue;
-      bool disjoint = true;
-      for (const std::size_t r : rows) {
-        if (used_rows.get(r)) {
-          disjoint = false;
-          break;
-        }
+  for (const std::size_t c : s.cols_by_degree) {
+    if (!uncovered.get(c)) continue;
+    const auto& rows = s.rows_covering[c];
+    bool disjoint = true;
+    for (const std::size_t r : rows) {
+      if (used_rows.get(r)) {
+        disjoint = false;
+        break;
       }
-      if (!disjoint) continue;
-      for (const std::size_t r : rows) used_rows.set(r);
-      ++bound;
     }
+    if (!disjoint) continue;
+    for (const std::size_t r : rows) used_rows.set(r);
+    ++bound;
   }
   return bound;
 }
@@ -126,6 +123,15 @@ CoverSolution solve_exact(const DetectionMatrix& m, const ExactOptions& opts) {
   for (std::size_t r = 0; r < m.num_rows(); ++r) {
     m.row(r).for_each_set([&](std::size_t c) { s.rows_covering[c].push_back(r); });
   }
+  s.cols_by_degree.resize(m.num_cols());
+  for (std::size_t c = 0; c < m.num_cols(); ++c) s.cols_by_degree[c] = c;
+  std::sort(s.cols_by_degree.begin(), s.cols_by_degree.end(),
+            [&s](std::size_t a, std::size_t b) {
+              const std::size_t da = s.rows_covering[a].size();
+              const std::size_t db = s.rows_covering[b].size();
+              if (da != db) return da < db;
+              return a < b;
+            });
 
   util::BitVector uncovered(m.num_cols(), true);
   branch(s, uncovered);

@@ -1,6 +1,8 @@
 #include "cover/greedy.h"
 
+#include <queue>
 #include <stdexcept>
+#include <vector>
 
 namespace fbist::cover {
 
@@ -9,22 +11,48 @@ CoverSolution solve_greedy(const DetectionMatrix& m) {
   const std::size_t R = m.num_rows();
   const std::size_t C = m.num_cols();
 
-  util::BitVector uncovered(C, true);
-  while (uncovered.any()) {
-    std::size_t best_row = R;
-    std::size_t best_gain = 0;
-    for (std::size_t r = 0; r < R; ++r) {
-      const std::size_t gain = m.row(r).count_and(uncovered);
-      if (gain > best_gain) {
-        best_gain = gain;
-        best_row = r;
-      }
+  // Lazy greedy (CELF): gains are submodular — a row's gain against a
+  // shrinking uncovered set never grows — so each row's last computed
+  // gain is an upper bound.  Rows are kept in a max-heap keyed by that
+  // bound; per iteration only heap tops whose bound could still win are
+  // recomputed, instead of one count_and per row per iteration.  Ties
+  // break toward the lowest row index, so the selection is identical to
+  // the eager scan's (first strict maximum).
+  struct Entry {
+    std::size_t gain;
+    std::size_t row;
+    bool operator<(const Entry& o) const {
+      if (gain != o.gain) return gain < o.gain;
+      return row > o.row;  // max-heap: equal gains pop lowest row first
     }
-    if (best_row == R) {
+  };
+  std::priority_queue<Entry> heap;
+  std::vector<std::size_t> evaluated_at(R, 0);  // iteration of the cached gain
+  for (std::size_t r = 0; r < R; ++r) {
+    heap.push({m.row(r).count(), r});  // exact vs the all-ones uncovered set
+  }
+
+  util::BitVector uncovered(C, true);
+  std::size_t iteration = 0;
+  while (uncovered.any()) {
+    std::size_t pick = R;
+    while (!heap.empty()) {
+      const Entry top = heap.top();
+      heap.pop();
+      if (evaluated_at[top.row] == iteration) {
+        if (top.gain > 0) pick = top.row;
+        break;  // fresh bound is the true maximum (or everything is 0)
+      }
+      const std::size_t gain = m.row(top.row).count_and(uncovered);
+      evaluated_at[top.row] = iteration;
+      heap.push({gain, top.row});
+    }
+    if (pick == R) {
       throw std::invalid_argument("solve_greedy: uncoverable column remains");
     }
-    sol.rows.push_back(best_row);
-    uncovered.and_not(m.row(best_row));
+    sol.rows.push_back(pick);
+    uncovered.and_not(m.row(pick));
+    ++iteration;
   }
   // The greedy order can leave redundant early picks; prune them.
   sol.rows = make_irredundant(m, std::move(sol.rows));

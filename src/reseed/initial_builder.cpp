@@ -32,18 +32,29 @@ InitialReseeding build_initial_reseeding(const sim::FaultSim& fsim,
   out.matrix = cover::DetectionMatrix(M, F);
   std::vector<std::vector<std::uint32_t>> earliest(M);
 
-  // Each row is an independent fault-sim campaign writing only its own
-  // matrix row, so rows parallelise freely on the shared work-stealing
-  // pool: the nested per-fault loops inside fsim.run compose with this
-  // one (idle workers join whichever granularity has work) instead of
-  // oversubscribing, and the result is bit-identical at any worker
-  // count.
-  util::parallel_for(M, [&](std::size_t i) {
-    const sim::PatternSet ts = tpg::expand_triplet(tpg, out.triplets[i]);
-    const sim::FaultSimResult r =
-        fsim.run(ts, /*stop_after_first_detection=*/true);
-    out.matrix.set_row(i, r.detected);
-    earliest[i] = r.earliest;
+  // Rows are independent fault-sim campaigns, but at the paper's small
+  // T values a lone row wastes most lanes of every 64-pattern PPSFP
+  // block — so ⌊64/T⌋ rows are lane-packed into shared blocks
+  // (sim::pack_rows) and each triplet expands straight into its lane
+  // range of the packed set.  Batches parallelise on the shared
+  // work-stealing pool exactly like rows did (the nested per-fault
+  // loops inside run_packed compose with this one instead of
+  // oversubscribing), and the matrix is bit-identical to the per-row
+  // path at any worker count.
+  std::vector<std::size_t> lengths(M);
+  for (std::size_t i = 0; i < M; ++i) lengths[i] = out.triplets[i].cycles;
+  const std::vector<sim::LanePacking> packings = sim::pack_rows(lengths);
+  util::parallel_for(packings.size(), [&](std::size_t p) {
+    const sim::LanePacking& pk = packings[p];
+    sim::PatternSet packed(tpg.width(), pk.num_patterns);
+    for (const sim::LanePacking::Row& pr : pk.rows) {
+      tpg::expand_triplet_into(tpg, out.triplets[pr.row], packed, pr.base);
+    }
+    std::vector<sim::FaultSimResult> rs = fsim.run_packed(packed, pk);
+    for (std::size_t i = 0; i < pk.rows.size(); ++i) {
+      out.matrix.set_row(pk.rows[i].row, std::move(rs[i].detected));
+      earliest[pk.rows[i].row] = std::move(rs[i].earliest);
+    }
   });
   out.matrix.attach_earliest(std::move(earliest));
 

@@ -18,11 +18,11 @@ std::pair<cover::DetectionMatrix, std::vector<std::size_t>> coverable_submatrix(
   col_map.reserve(coverable.count());
   coverable.for_each_set([&](std::size_t c) { col_map.push_back(c); });
 
+  // Word-level column compaction: each row restricted to the coverable
+  // columns in one gather pass instead of an O(C) per-bit probe loop.
   cover::DetectionMatrix sub(full.num_rows(), col_map.size());
   for (std::size_t r = 0; r < full.num_rows(); ++r) {
-    for (std::size_t j = 0; j < col_map.size(); ++j) {
-      if (full.get(r, col_map[j])) sub.set(r, j);
-    }
+    sub.set_row(r, full.row(r).gather(coverable));
   }
   return {std::move(sub), std::move(col_map)};
 }

@@ -186,6 +186,134 @@ void walk4_wide(netlist::Span<std::uint32_t> prog, Word4* local,
   walk_cone_program<Word4, true, false, false>(prog, local, diff_flag, GoodT{gT});
 }
 
+/// One narrow (single-block) faulty walk of `site_net`'s cone with the
+/// site forced to g[site_net] ^ act, returning the cone's PO difference
+/// word (unmasked — the caller applies its lane mask and demuxes).
+/// Pre-fills the cone's good values so loads select on the slot (see
+/// walk_cone_program kPrecopy).  Shared by the per-row lead block and
+/// single-block packed batches, which must stay bit-identical.
+Word narrow_site_walk(const CompiledCircuit& cc, NetId site_net, const Word* g,
+                      Word act, Word* local, std::uint8_t* diff_flag) {
+  const netlist::Span<std::uint32_t> prog = cc.cone_program(site_net);
+  const netlist::Span<NetId> cone = cc.cone_gates(site_net);
+  std::fill(diff_flag, diff_flag + cone.size() + 2, 0);
+  for (std::size_t i = 0; i < cone.size(); ++i) local[i + 1] = g[cone[i]];
+  local[0] = g[site_net] ^ act;
+  diff_flag[0] = 1;
+  const std::uint32_t sentinel = static_cast<std::uint32_t>(cone.size() + 1);
+  const auto good_of = [g](NetId n) { return g[n]; };
+  // Small cones are cheapest fully evaluated (the skip branch
+  // mispredicts); deep cones win by skipping the inactive region.
+  const bool scan = prog.size() >= kScanMinProgWords;
+  if (cc.narrow_programs()) {
+    if (scan) {
+      walk_cone_program<Word, true, true, true>(prog, local, diff_flag, good_of,
+                                                sentinel);
+    } else {
+      walk_cone_program<Word, false, true, true>(prog, local, diff_flag,
+                                                 good_of, sentinel);
+    }
+  } else {
+    if (scan) {
+      walk_cone_program<Word, true, false, true>(prog, local, diff_flag,
+                                                 good_of, sentinel);
+    } else {
+      walk_cone_program<Word, false, false, true>(prog, local, diff_flag,
+                                                  good_of, sentinel);
+    }
+  }
+  const netlist::Span<std::uint32_t> cone_outs = cc.cone_outputs(site_net);
+  const netlist::Span<std::uint32_t> cone_slots = cc.cone_output_slots(site_net);
+  const auto& outs = cc.outputs();
+  Word diff = 0;
+  for (std::size_t i = 0; i < cone_outs.size(); ++i) {
+    const std::uint32_t slot = cone_slots[i];
+    if (!test_flag(diff_flag, slot)) continue;
+    diff |= local[slot] ^ g[outs[cone_outs[i]]];
+  }
+  return diff;
+}
+
+/// 4-wide counterpart of narrow_site_walk over one chunk's interleaved
+/// good values `gT` (4 words per net); returns the unmasked per-block
+/// PO difference words.
+Word4 chunk_site_walk(const CompiledCircuit& cc, NetId site_net, const Word* gT,
+                      const Word4& act, Word4* local,
+                      std::uint8_t* diff_flag) {
+  const netlist::Span<std::uint32_t> prog = cc.cone_program(site_net);
+  const GoodT good_of{gT};
+  std::fill(diff_flag, diff_flag + cc.cone_gates(site_net).size() + 2, 0);
+  local[0] = good_of(site_net) ^ act;
+  diff_flag[0] = 1;
+  if (cc.narrow_programs()) {
+    walk4_narrow(prog, local, diff_flag, gT);
+  } else {
+    walk4_wide(prog, local, diff_flag, gT);
+  }
+  const netlist::Span<std::uint32_t> cone_outs = cc.cone_outputs(site_net);
+  const netlist::Span<std::uint32_t> cone_slots = cc.cone_output_slots(site_net);
+  const auto& outs = cc.outputs();
+  Word4 diff{};
+  for (std::size_t i = 0; i < cone_outs.size(); ++i) {
+    const std::uint32_t slot = cone_slots[i];
+    if (!test_flag(diff_flag, slot)) continue;
+    diff = diff | (local[slot] ^ good_of(outs[cone_outs[i]]));
+  }
+  return diff;
+}
+
+/// Builds the block-interleaved (4 words per net) good-value layout and
+/// per-chunk lane masks for `nchunks` chunks whose j-th block is
+/// first_block + chunk*4 + j.  `lanes_of(b)` is the valid-lane mask of
+/// real block b; absent blocks get zero lanes and replicate the last
+/// real block's good values, so the site is never flipped there and the
+/// padding cannot trip the per-gate differs() check that drives the
+/// touched-scan skip.  Shared by the per-row and packed paths, which
+/// must stay bit-identical.
+template <typename LanesFn>
+void build_chunk_goods(const CompiledCircuit& cc,
+                       const std::vector<std::vector<Word>>& good,
+                       std::size_t first_block, std::size_t nchunks,
+                       LanesFn lanes_of, std::vector<std::vector<Word>>& goodT,
+                       std::vector<Word4>& chunk_lanes) {
+  const std::size_t blocks = good.size();
+  goodT.resize(nchunks);
+  chunk_lanes.resize(nchunks);
+  for (std::size_t chunk = 0; chunk < nchunks; ++chunk) {
+    auto& t = goodT[chunk];
+    t.resize(cc.num_nets() * 4);
+    for (std::size_t j = 0; j < 4; ++j) {
+      const std::size_t b = first_block + chunk * 4 + j;
+      chunk_lanes[chunk].w[j] = b < blocks ? lanes_of(b) : Word{0};
+      const Word* const gb = good[b >= blocks ? blocks - 1 : b].data();
+      for (std::size_t n = 0; n < cc.num_nets(); ++n) t[n * 4 + j] = gb[n];
+    }
+  }
+}
+
+/// Per-worker cone-walk scratch, sized by the largest cone (slot-dense,
+/// so it stays small and hot even on circuits whose per-net arrays do
+/// not fit in cache).  max_slots must cover the root slot and the
+/// outside-sentinel slot (+2), which branchless selects may load
+/// speculatively.
+struct WalkScratch {
+  std::vector<Word> local1;
+  std::vector<Word4> local4;
+  std::vector<std::uint8_t> diff_flag;
+};
+
+std::vector<WalkScratch> make_scratches(std::size_t workers,
+                                        std::size_t max_slots,
+                                        bool need_narrow, bool need_wide) {
+  std::vector<WalkScratch> scratches(workers);
+  for (auto& s : scratches) {
+    s.local1.assign(need_narrow ? max_slots : 0, 0);
+    s.local4.assign(need_wide ? max_slots : 0, Word4{});
+    s.diff_flag.assign(max_slots, 0);
+  }
+  return scratches;
+}
+
 }  // namespace
 
 FaultSim::FaultSim(const netlist::Netlist& nl, const fault::FaultList& faults)
@@ -257,42 +385,16 @@ FaultSimResult FaultSim::run_subset(const PatternSet& patterns,
   // over up to 256 patterns.
   const std::size_t lead_blocks = std::min<std::size_t>(blocks, 1);
   const std::size_t nchunks = blocks > 1 ? (blocks - 1 + 3) / 4 : 0;
-  std::vector<std::vector<Word>> goodT(nchunks);
-  std::vector<Word4> chunk_lanes(nchunks);
-  for (std::size_t chunk = 0; chunk < nchunks; ++chunk) {
-    auto& t = goodT[chunk];
-    t.resize(cc.num_nets() * 4);
-    for (std::size_t j = 0; j < 4; ++j) {
-      const std::size_t b = 1 + chunk * 4 + j;
-      chunk_lanes[chunk].w[j] = block_lanes(b);
-      // Pad absent blocks with the last real block: the site is never
-      // flipped there (lanes are 0), so the faulty values equal the
-      // good values and the padding lanes cannot trip the per-gate
-      // differs() check that drives the touched-scan skip.
-      const Word* const gb = good[b >= blocks ? blocks - 1 : b].data();
-      for (std::size_t n = 0; n < cc.num_nets(); ++n) t[n * 4 + j] = gb[n];
-    }
-  }
+  std::vector<std::vector<Word>> goodT;
+  std::vector<Word4> chunk_lanes;
+  build_chunk_goods(cc, good, /*first_block=*/1, nchunks, block_lanes, goodT,
+                    chunk_lanes);
 
-  const auto& outs = cc.outputs();
-
-  // Per-worker scratch, sized by the largest cone (slot-dense, so it
-  // stays small and hot even on circuits whose per-net arrays do not
-  // fit in cache).  +2 covers the root slot and the outside-sentinel
-  // slot, which branchless selects may load speculatively.
   const std::size_t max_slots = cc.max_cone_gates() + 2;
-  struct Scratch {
-    std::vector<Word> local1;
-    std::vector<Word4> local4;
-    std::vector<std::uint8_t> diff_flag;
-  };
   const std::size_t workers = parallel ? util::parallel_workers() : 1;
-  std::vector<Scratch> scratches(workers);
-  for (auto& s : scratches) {
-    s.local1.assign(max_slots, 0);
-    s.local4.assign(nchunks > 0 ? max_slots : 0, Word4{});
-    s.diff_flag.assign(max_slots, 0);
-  }
+  std::vector<WalkScratch> scratches =
+      make_scratches(workers, max_slots, /*need_narrow=*/true,
+                     /*need_wide=*/nchunks > 0);
 
   constexpr std::size_t kNoFault = static_cast<std::size_t>(-1);
   auto simulate_site = [&](std::size_t sid, std::size_t worker) {
@@ -304,12 +406,8 @@ FaultSimResult FaultSim::run_subset(const PatternSet& patterns,
     }
     if (!live[0] && !live[1]) return;
 
-    const netlist::Span<std::uint32_t> prog = cc.cone_program(site.net);
-    const netlist::Span<std::uint32_t> cone_outs = cc.cone_outputs(site.net);
-    const netlist::Span<std::uint32_t> cone_slots = cc.cone_output_slots(site.net);
-    Scratch& sc = scratches[worker];
+    WalkScratch& sc = scratches[worker];
     std::uint8_t* const diff_flag = sc.diff_flag.data();
-    const std::size_t flag_count = cc.cone_gates(site.net).size() + 2;
 
     // Lanes where the live faults are activated: sa0 flips the site
     // where the good value is 1, sa1 where it is 0 — disjoint, so one
@@ -328,45 +426,9 @@ FaultSimResult FaultSim::run_subset(const PatternSet& patterns,
       const Word gs = g[site.net];
       const Word act = ((live[0] ? gs : Word{0}) | (live[1] ? ~gs : Word{0})) & lanes;
       if (act == 0) continue;  // neither live fault activated
-      Word* const local = sc.local1.data();
-      std::fill(diff_flag, diff_flag + flag_count, 0);
-      // Pre-fill the cone's good values so loads can select on the
-      // (register-resident) slot instead of a flag byte.
-      const netlist::Span<NetId> cone = cc.cone_gates(site.net);
-      for (std::size_t i = 0; i < cone.size(); ++i) local[i + 1] = g[cone[i]];
-      local[0] = gs ^ act;
-      diff_flag[0] = 1;
-      const std::uint32_t sentinel = static_cast<std::uint32_t>(cone.size() + 1);
-      const auto good_of = [g](NetId n) { return g[n]; };
-      // Small cones are cheapest fully evaluated (the skip branch
-      // mispredicts); deep cones win by skipping the inactive region.
-      const bool scan = prog.size() >= kScanMinProgWords;
-      if (cc.narrow_programs()) {
-        if (scan) {
-          walk_cone_program<Word, true, true, true>(prog, local, diff_flag,
-                                                    good_of, sentinel);
-        } else {
-          walk_cone_program<Word, false, true, true>(prog, local, diff_flag,
-                                                     good_of, sentinel);
-        }
-      } else {
-        if (scan) {
-          walk_cone_program<Word, true, false, true>(prog, local, diff_flag,
-                                                     good_of, sentinel);
-        } else {
-          walk_cone_program<Word, false, false, true>(prog, local, diff_flag,
-                                                      good_of, sentinel);
-        }
-      }
-
-      Word diff = 0;
-      for (std::size_t i = 0; i < cone_outs.size(); ++i) {
-        const std::uint32_t slot = cone_slots[i];
-        if (!test_flag(diff_flag, slot)) continue;
-        const NetId o = outs[cone_outs[i]];
-        diff |= local[slot] ^ g[o];
-      }
-      diff &= lanes;
+      const Word diff =
+          narrow_site_walk(cc, site.net, g, act, sc.local1.data(), diff_flag) &
+          lanes;
       if (diff == 0) continue;
       if (live[0]) {
         const Word d0 = diff & gs;
@@ -384,34 +446,17 @@ FaultSimResult FaultSim::run_subset(const PatternSet& patterns,
       }
     }
 
-    Word4* const local = sc.local4.data();
     for (std::size_t chunk = 0; chunk < nchunks && (live[0] || live[1]); ++chunk) {
       const Word* const gT = goodT[chunk].data();
       const Word4 lanes = chunk_lanes[chunk];
-      const GoodT good_of{gT};
-
-      const Word4 gs = good_of(site.net);
+      const Word4 gs = GoodT{gT}(site.net);
       const Word4 zero{};
       const Word4 act = ((live[0] ? gs : zero) | (live[1] ? ~gs : zero)) & lanes;
       if (!differs(act, zero)) continue;
 
-      std::fill(diff_flag, diff_flag + flag_count, 0);
-      local[0] = gs ^ act;
-      diff_flag[0] = 1;
-      if (cc.narrow_programs()) {
-        walk4_narrow(prog, local, diff_flag, gT);
-      } else {
-        walk4_wide(prog, local, diff_flag, gT);
-      }
-
-      Word4 diff{};
-      for (std::size_t i = 0; i < cone_outs.size(); ++i) {
-        const std::uint32_t slot = cone_slots[i];
-        if (!test_flag(diff_flag, slot)) continue;
-        const NetId o = outs[cone_outs[i]];
-        diff = diff | (local[slot] ^ good_of(o));
-      }
-      diff = diff & lanes;
+      const Word4 diff = chunk_site_walk(cc, site.net, gT, act,
+                                         sc.local4.data(), diff_flag) &
+                         lanes;
       for (int s = 0; s < 2 && (live[0] || live[1]); ++s) {
         if (!live[s]) continue;
         const Word4 pol_mask = s == 0 ? gs : ~gs;
@@ -436,6 +481,201 @@ FaultSimResult FaultSim::run_subset(const PatternSet& patterns,
     if (detected_flag[fid]) result.detected.set(fid);
   }
   return result;
+}
+
+std::vector<FaultSimResult> FaultSim::run_batched(
+    const PatternSet* rows, std::size_t num_rows,
+    bool stop_after_first_detection, bool parallel) const {
+  (void)stop_after_first_detection;  // never changes results; see header
+  const std::size_t nf = faults_.size();
+  std::vector<FaultSimResult> results(num_rows);
+  if (num_rows == 0 || nf == 0) {
+    for (auto& r : results) {
+      r.detected = util::BitVector(nf);
+      r.earliest.assign(nf, kNotDetected);
+    }
+    return results;
+  }
+  // Every row lands in exactly one packing, so run_packed's output
+  // fills every slot below — no need to pre-initialize them here.
+
+  std::vector<std::size_t> lengths(num_rows);
+  for (std::size_t i = 0; i < num_rows; ++i) lengths[i] = rows[i].size();
+  const std::vector<LanePacking> packings = pack_rows(lengths);
+
+  // Packings are independent campaigns writing disjoint result slots,
+  // so they parallelize on the shared pool like per-row campaigns do;
+  // the per-site loop inside run_packed nests on the same pool.
+  const std::size_t width = nl_.num_inputs();
+  const auto run_one = [&](std::size_t p) {
+    const LanePacking& pk = packings[p];
+    PatternSet packed(width, pk.num_patterns);
+    for (const LanePacking::Row& pr : pk.rows) {
+      if (pr.length > 0) packed.write_patterns(pr.base, rows[pr.row]);
+    }
+    std::vector<FaultSimResult> rs = run_packed(packed, pk, parallel);
+    for (std::size_t i = 0; i < pk.rows.size(); ++i) {
+      results[pk.rows[i].row] = std::move(rs[i]);
+    }
+  };
+  if (parallel && packings.size() > 1) {
+    util::parallel_for(packings.size(), run_one);
+  } else {
+    for (std::size_t p = 0; p < packings.size(); ++p) run_one(p);
+  }
+  return results;
+}
+
+std::vector<FaultSimResult> FaultSim::run_packed(const PatternSet& packed,
+                                                 const LanePacking& packing,
+                                                 bool parallel) const {
+  const CompiledCircuit& cc = *cc_;
+  const std::size_t nf = faults_.size();
+  const std::size_t nrows = packing.rows.size();
+  assert(packing.num_patterns <= packed.size());
+
+  std::vector<FaultSimResult> results(nrows);
+  for (auto& r : results) {
+    r.detected = util::BitVector(nf);
+    r.earliest.assign(nf, kNotDetected);
+  }
+  if (packed.empty() || nf == 0 || nrows == 0) return results;
+
+  const std::size_t blocks = (packed.size() + 63) / 64;
+
+  // Good values for every packed block, computed once — this is the
+  // 64/T-fold saving over per-row campaigns at small T.
+  std::vector<std::vector<Word>> good(blocks);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    good_sim_.simulate_word(packed, b * 64, good[b]);
+  }
+
+  // Per-block demux plan: which rows overlap the block, at which lanes.
+  struct RowLanes {
+    std::uint32_t pos;  // index into packing.rows / results
+    Word mask;          // this row's lanes within the block
+    std::size_t base;   // the row's global base pattern index
+  };
+  std::vector<std::vector<RowLanes>> rows_in_block(blocks);
+  std::vector<Word> union_lanes(blocks, 0);
+  std::size_t active_rows = 0;  // rows that can detect at all
+  for (std::size_t i = 0; i < nrows; ++i) {
+    const LanePacking::Row& pr = packing.rows[i];
+    if (pr.length == 0) continue;
+    ++active_rows;
+    const std::size_t end = pr.base + pr.length;
+    assert(end <= blocks * 64);
+    assert(pr.length > 64 || pr.base / 64 == (end - 1) / 64);
+    for (std::size_t b = pr.base / 64; b * 64 < end; ++b) {
+      const std::size_t lo = std::max(pr.base, b * 64) - b * 64;
+      const std::size_t hi = std::min(end, (b + 1) * 64) - b * 64;
+      const Word mask = (hi - lo == 64 ? ~Word{0} : ((Word{1} << (hi - lo)) - 1))
+                        << lo;
+      rows_in_block[b].push_back(
+          {static_cast<std::uint32_t>(i), mask, pr.base});
+      union_lanes[b] |= mask;
+    }
+  }
+
+  // All blocks of a multi-block packing are walked in 4-wide chunks
+  // (one structure walk per 256 packed patterns); a single-block
+  // packing takes the cheaper narrow walk.
+  const std::size_t nchunks = blocks > 1 ? (blocks + 3) / 4 : 0;
+  std::vector<std::vector<Word>> goodT;
+  std::vector<Word4> chunk_lanes;
+  build_chunk_goods(
+      cc, good, /*first_block=*/0, nchunks,
+      [&union_lanes](std::size_t b) { return union_lanes[b]; }, goodT,
+      chunk_lanes);
+
+  const std::size_t max_slots = cc.max_cone_gates() + 2;
+  const std::size_t workers = parallel ? util::parallel_workers() : 1;
+  std::vector<WalkScratch> scratches =
+      make_scratches(workers, max_slots, /*need_narrow=*/nchunks == 0,
+                     /*need_wide=*/nchunks > 0);
+
+  constexpr std::size_t kNoFault = static_cast<std::size_t>(-1);
+  auto simulate_site = [&](std::size_t sid, std::size_t worker) {
+    const Site& site = sites_[sid];
+    const bool has[2] = {site.fid[0] != kNoFault, site.fid[1] != kNoFault};
+    if (!has[0] && !has[1]) return;
+
+    WalkScratch& sc = scratches[worker];
+    std::uint8_t* const diff_flag = sc.diff_flag.data();
+
+    // Rows are independent campaigns: a detection in one row's lanes
+    // never drops the fault from another row, so dropping is tracked as
+    // "rows still missing this fault" and the site stops only once every
+    // row has both its faults.
+    std::size_t remaining = (has[0] ? active_rows : 0) + (has[1] ? active_rows : 0);
+
+    // Demuxes one block's faulty-vs-good output difference word back to
+    // the per-row results (row-local earliest indices).
+    const auto demux = [&](std::size_t b, Word diff, Word gs) {
+      for (const RowLanes& rl : rows_in_block[b]) {
+        FaultSimResult& res = results[rl.pos];
+        for (int s = 0; s < 2; ++s) {
+          if (!has[s]) continue;
+          const std::size_t fid = site.fid[s];
+          if (res.earliest[fid] != kNotDetected) continue;  // earlier block won
+          const Word d = diff & (s == 0 ? gs : ~gs) & rl.mask;
+          if (d == 0) continue;
+          res.earliest[fid] = static_cast<std::uint32_t>(
+              b * 64 + static_cast<std::size_t>(__builtin_ctzll(d)) - rl.base);
+          --remaining;
+        }
+      }
+    };
+
+    if (nchunks == 0) {
+      // Single packed block: one narrow precopy walk, as in the lead
+      // block of the per-row path.
+      const Word* const g = good[0].data();
+      const Word lanes = union_lanes[0];
+      const Word gs = g[site.net];
+      const Word act =
+          ((has[0] ? gs : Word{0}) | (has[1] ? ~gs : Word{0})) & lanes;
+      if (act == 0) return;
+      const Word diff =
+          narrow_site_walk(cc, site.net, g, act, sc.local1.data(), diff_flag) &
+          lanes;
+      if (diff != 0) demux(0, diff, gs);
+      return;
+    }
+
+    for (std::size_t chunk = 0; chunk < nchunks && remaining > 0; ++chunk) {
+      const Word* const gT = goodT[chunk].data();
+      const Word4 lanes = chunk_lanes[chunk];
+      const Word4 gs = GoodT{gT}(site.net);
+      const Word4 zero{};
+      const Word4 act = ((has[0] ? gs : zero) | (has[1] ? ~gs : zero)) & lanes;
+      if (!differs(act, zero)) continue;
+
+      const Word4 diff = chunk_site_walk(cc, site.net, gT, act,
+                                         sc.local4.data(), diff_flag) &
+                         lanes;
+      for (std::size_t j = 0; j < 4; ++j) {
+        const std::size_t b = chunk * 4 + j;
+        if (b >= blocks || diff.w[j] == 0) continue;
+        demux(b, diff.w[j], gs.w[j]);
+      }
+    }
+  };
+
+  if (parallel && workers > 1) {
+    util::parallel_for_workers(sites_.size(), simulate_site);
+  } else {
+    for (std::size_t sid = 0; sid < sites_.size(); ++sid) simulate_site(sid, 0);
+  }
+  // Assemble packed detection bits outside the parallel section (sites
+  // write distinct earliest slots; BitVector words would be shared).
+  for (std::size_t i = 0; i < nrows; ++i) {
+    FaultSimResult& res = results[i];
+    for (std::size_t fid = 0; fid < nf; ++fid) {
+      if (res.earliest[fid] != kNotDetected) res.detected.set(fid);
+    }
+  }
+  return results;
 }
 
 bool FaultSim::detects(const util::WideWord& pattern, std::size_t fault_id) const {

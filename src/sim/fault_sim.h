@@ -91,6 +91,42 @@ class FaultSim {
                             bool stop_after_first_detection = true,
                             bool parallel = true) const;
 
+  /// Simulates many *independent* pattern sets ("rows", e.g. one per
+  /// reseeding candidate triplet) in one call, packing ⌊64/T⌋ rows into
+  /// the lanes of shared 64-pattern blocks (sim::pack_rows): good values
+  /// are computed once per packed block and each fault's cone is walked
+  /// once per block instead of once per row, which is the dominant cost
+  /// of the detection-matrix build at the paper's small T values.
+  ///
+  /// Returns one FaultSimResult per row, bit-identical to calling
+  /// run(rows[i], ...) per row — detection bits *and* earliest indices.
+  /// `stop_after_first_detection` is accepted for symmetry with run();
+  /// as there, it never changes results (blocks are processed in
+  /// pattern order, so the first detection of a packed row is final),
+  /// and within a packed block dropping is tracked per row: a fault
+  /// detected by one row keeps simulating in every other row's lanes.
+  std::vector<FaultSimResult> run_batched(const PatternSet* rows,
+                                          std::size_t num_rows,
+                                          bool stop_after_first_detection = true,
+                                          bool parallel = true) const;
+  std::vector<FaultSimResult> run_batched(const std::vector<PatternSet>& rows,
+                                          bool stop_after_first_detection = true,
+                                          bool parallel = true) const {
+    return run_batched(rows.data(), rows.size(), stop_after_first_detection,
+                       parallel);
+  }
+
+  /// Lower-level batched entry point: simulates one pre-packed pattern
+  /// set whose lane layout is described by `packing` (callers that
+  /// expand rows straight into the packed set — tpg::expand_triplet_into
+  /// — skip the intermediate per-row PatternSet entirely).  Lane ranges
+  /// must be disjoint, a row of length <= 64 must not straddle a block
+  /// boundary, and packed lanes outside every row are ignored.  Returns
+  /// one result per packing.rows entry, in that order.
+  std::vector<FaultSimResult> run_packed(const PatternSet& packed,
+                                         const LanePacking& packing,
+                                         bool parallel = true) const;
+
   /// True iff `pattern` detects fault `f` (single-pattern probe).
   bool detects(const util::WideWord& pattern, std::size_t fault_id) const;
 

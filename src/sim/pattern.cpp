@@ -81,6 +81,28 @@ util::WideWord PatternSet::pattern(std::size_t p) const {
   return w;
 }
 
+void PatternSet::set_pattern(std::size_t p, const util::WideWord& pattern) {
+  assert(p < num_patterns_);
+  if (pattern.bits() != num_inputs_) {
+    throw std::invalid_argument("PatternSet::set_pattern: width mismatch");
+  }
+  for (std::size_t i = 0; i < num_inputs_; ++i) {
+    slices_[i].set(p, pattern.get_bit(i));
+  }
+}
+
+void PatternSet::write_patterns(std::size_t base, const PatternSet& src) {
+  if (src.num_inputs_ != num_inputs_) {
+    throw std::invalid_argument("PatternSet::write_patterns: width mismatch");
+  }
+  assert(base + src.num_patterns_ <= num_patterns_);
+  for (std::size_t i = 0; i < num_inputs_; ++i) {
+    for (std::size_t p = 0; p < src.num_patterns_; ++p) {
+      slices_[i].set(base + p, src.slices_[i].get(p));
+    }
+  }
+}
+
 PatternSet PatternSet::random(std::size_t num_inputs, std::size_t num_patterns,
                               util::Rng& rng) {
   PatternSet ps(num_inputs, num_patterns);
@@ -98,6 +120,39 @@ std::string PatternSet::pattern_string(std::size_t p) const {
     if (get(p, i)) s[i] = '1';
   }
   return s;
+}
+
+std::vector<LanePacking> pack_rows(const std::vector<std::size_t>& lengths,
+                                   std::size_t max_blocks) {
+  std::vector<LanePacking> packings;
+  LanePacking cur;
+  const auto flush = [&] {
+    if (!cur.rows.empty()) packings.push_back(std::move(cur));
+    cur = LanePacking{};
+  };
+  for (std::size_t r = 0; r < lengths.size(); ++r) {
+    const std::size_t len = lengths[r];
+    if (len > 64) {
+      // Long rows keep their dedicated blocks: within one packing the
+      // per-row campaigns restart at every base, and a multi-block row
+      // is exactly the existing per-row simulation shape.
+      flush();
+      cur.rows.push_back({r, 0, len});
+      cur.num_patterns = len;
+      flush();
+      continue;
+    }
+    std::size_t base = cur.num_patterns;
+    if (len > 0 && base % 64 + len > 64) base = (base / 64 + 1) * 64;  // next block
+    if (max_blocks != 0 && (base + len + 63) / 64 > max_blocks) {
+      flush();
+      base = 0;
+    }
+    cur.rows.push_back({r, base, len});
+    cur.num_patterns = base + len;
+  }
+  flush();
+  return packings;
 }
 
 }  // namespace fbist::sim

@@ -42,6 +42,14 @@ class PatternSet {
   /// The bit-slice for one input: bit j == value of input in pattern j.
   const util::BitVector& slice(std::size_t input) const { return slices_[input]; }
 
+  /// Overwrites pattern `p` (which must exist) with `pattern`.
+  void set_pattern(std::size_t p, const util::WideWord& pattern);
+
+  /// Copies all patterns of `src` (same num_inputs) over patterns
+  /// [base, base + src.size()) of *this.  The destination range must
+  /// already exist.
+  void write_patterns(std::size_t base, const PatternSet& src);
+
   /// Uniformly random pattern set.
   static PatternSet random(std::size_t num_inputs, std::size_t num_patterns,
                            util::Rng& rng);
@@ -57,5 +65,33 @@ class PatternSet {
   std::size_t capacity_ = 0;
   std::vector<util::BitVector> slices_;  // one per input, length capacity_
 };
+
+/// Lane-packing plan for one shared pattern block group: several
+/// independent rows (pattern sequences) laid out side by side in the
+/// lanes of shared 64-pattern simulation blocks, so one good-value pass
+/// and one cone walk per block serve every row at once (see
+/// sim::FaultSim::run_packed).
+struct LanePacking {
+  struct Row {
+    std::size_t row;     ///< Index into the caller's row sequence.
+    std::size_t base;    ///< First pattern index inside the packed set.
+    std::size_t length;  ///< Number of patterns.
+  };
+  std::vector<Row> rows;          ///< In caller order; bases ascending.
+  std::size_t num_patterns = 0;   ///< Packed set size (end of the last row).
+
+  std::size_t num_blocks() const { return (num_patterns + 63) / 64; }
+};
+
+/// Greedily packs rows of the given lengths, in order, into shared
+/// 64-pattern blocks.  A row of length <= 64 never straddles a block
+/// boundary (when the current block cannot hold it the row starts at
+/// the next block, leaving the skipped lanes as holes); a row longer
+/// than 64 patterns gets a packing of its own, spanning as many blocks
+/// as the row needs.  Every other packing spans at most `max_blocks`
+/// blocks (0 = unlimited), so packings stay sized for one 4-wide
+/// simulation chunk by default.
+std::vector<LanePacking> pack_rows(const std::vector<std::size_t>& lengths,
+                                   std::size_t max_blocks = 4);
 
 }  // namespace fbist::sim

@@ -14,20 +14,27 @@ std::string Triplet::to_string() const {
 
 sim::PatternSet expand_triplet_prefix(const Tpg& tpg, const Triplet& t,
                                       std::size_t prefix) {
-  const std::size_t n = std::min(prefix, t.cycles);
-  sim::PatternSet ps(tpg.width(), 0);
-  if (n == 0) return ps;
-  const util::WideWord sigma = tpg.legalize_sigma(t.sigma);
-  util::WideWord state = t.delta;
-  for (std::size_t i = 0; i < n; ++i) {
-    ps.append(state);
-    if (i + 1 < n) state = tpg.step(state, sigma);
-  }
+  Triplet clipped = t;
+  clipped.cycles = std::min(prefix, t.cycles);
+  sim::PatternSet ps(tpg.width(), clipped.cycles);
+  expand_triplet_into(tpg, clipped, ps, 0);
   return ps;
 }
 
 sim::PatternSet expand_triplet(const Tpg& tpg, const Triplet& t) {
   return expand_triplet_prefix(tpg, t, t.cycles);
+}
+
+void expand_triplet_into(const Tpg& tpg, const Triplet& t, sim::PatternSet& ps,
+                         std::size_t base) {
+  const std::size_t n = t.cycles;
+  if (n == 0) return;
+  const util::WideWord sigma = tpg.legalize_sigma(t.sigma);
+  util::WideWord state = t.delta;
+  for (std::size_t i = 0; i < n; ++i) {
+    ps.set_pattern(base + i, state);
+    if (i + 1 < n) state = tpg.step(state, sigma);
+  }
 }
 
 sim::PatternSet expand_all(const Tpg& tpg, const std::vector<Triplet>& ts) {

@@ -35,6 +35,12 @@ sim::PatternSet expand_triplet(const Tpg& tpg, const Triplet& t);
 sim::PatternSet expand_triplet_prefix(const Tpg& tpg, const Triplet& t,
                                       std::size_t prefix);
 
+/// Expands `t` directly into patterns [base, base + t.cycles) of `ps`
+/// (already sized; width = tpg.width()) — the lane-packed form used by
+/// sim::FaultSim::run_packed, with no intermediate PatternSet.
+void expand_triplet_into(const Tpg& tpg, const Triplet& t, sim::PatternSet& ps,
+                         std::size_t base);
+
 /// Concatenation of the test sets of all triplets, in order.
 sim::PatternSet expand_all(const Tpg& tpg, const std::vector<Triplet>& ts);
 

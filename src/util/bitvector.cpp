@@ -137,6 +137,48 @@ std::size_t BitVector::count_and(const BitVector& o) const {
   return n;
 }
 
+namespace {
+
+/// Parallel bit extract: packs the bits of `x` selected by `m` into the
+/// low bits of the result.  Hardware pext on BMI2 builds; the fallback
+/// loops only over the set bits of the mask.
+inline BitVector::Word pext_word(BitVector::Word x, BitVector::Word m) {
+#if defined(__BMI2__)
+  return __builtin_ia32_pext_di(x, m);
+#else
+  BitVector::Word out = 0;
+  int k = 0;
+  while (m != 0) {
+    const BitVector::Word lowest = m & (~m + 1);
+    if (x & lowest) out |= BitVector::Word{1} << k;
+    ++k;
+    m &= m - 1;
+  }
+  return out;
+#endif
+}
+
+}  // namespace
+
+BitVector BitVector::gather(const BitVector& mask) const {
+  assert(size_ == mask.size_);
+  BitVector out(mask.count());
+  std::size_t pos = 0;  // next output bit
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    const Word m = mask.words_[w];
+    if (m == 0) continue;
+    const int k = __builtin_popcountll(m);
+    const Word packed = pext_word(words_[w], m);
+    const std::size_t off = pos % kWordBits;
+    out.words_[pos / kWordBits] |= packed << off;
+    if (off != 0 && off + static_cast<std::size_t>(k) > kWordBits) {
+      out.words_[pos / kWordBits + 1] |= packed >> (kWordBits - off);
+    }
+    pos += static_cast<std::size_t>(k);
+  }
+  return out;
+}
+
 bool BitVector::operator==(const BitVector& o) const {
   return size_ == o.size_ && words_ == o.words_;
 }

@@ -63,6 +63,13 @@ class BitVector {
   /// popcount(*this & o) without materialising the intersection.
   std::size_t count_and(const BitVector& o) const;
 
+  /// Column compaction: returns a vector of mask.count() bits whose
+  /// k-th bit is the bit of *this at the position of the k-th set bit
+  /// of `mask` (sizes must match).  Word-level (BMI2 pext where
+  /// available) — this is the hot step of restricting detection-matrix
+  /// rows to the coverable column set.
+  BitVector gather(const BitVector& mask) const;
+
   bool operator==(const BitVector& o) const;
   bool operator!=(const BitVector& o) const { return !(*this == o); }
 

@@ -92,6 +92,46 @@ TEST(SolverHelpers, MakeIrredundantDropsRedundant) {
   EXPECT_LT(pruned.size(), 3u);
 }
 
+// The lazy-greedy (cached upper bound) selection must match a naive
+// eager scan — recompute every row's gain each iteration, pick the
+// first strict maximum — on arbitrary instances.
+TEST(Greedy, LazySelectionMatchesEagerScan) {
+  util::Rng rng(23);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t R = 2 + rng.next_below(30);
+    const std::size_t C = 1 + rng.next_below(60);
+    DetectionMatrix m(R, C);
+    for (std::size_t r = 0; r < R; ++r) {
+      for (std::size_t c = 0; c < C; ++c) {
+        if (rng.next_bool(0.2)) m.set(r, c);
+      }
+    }
+    for (std::size_t c = 0; c < C; ++c) m.set(rng.next_below(R), c);
+
+    // Naive eager greedy (the seed algorithm), pre-pruning.
+    std::vector<std::size_t> eager;
+    util::BitVector uncovered(C, true);
+    while (uncovered.any()) {
+      std::size_t best_row = R, best_gain = 0;
+      for (std::size_t r = 0; r < R; ++r) {
+        const std::size_t gain = m.row(r).count_and(uncovered);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_row = r;
+        }
+      }
+      ASSERT_LT(best_row, R);
+      eager.push_back(best_row);
+      uncovered.and_not(m.row(best_row));
+    }
+    eager = make_irredundant(m, std::move(eager));
+
+    const CoverSolution lazy = solve_greedy(m);
+    EXPECT_EQ(lazy.rows, eager) << "trial " << trial;
+    EXPECT_TRUE(lazy.feasible);
+  }
+}
+
 TEST(Greedy, DeterministicTieBreak) {
   const auto m = from_rows({
       {1, 1, 0, 0},

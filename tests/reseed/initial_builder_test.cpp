@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include "atpg/engine.h"
+#include "campaign/scheduler.h"
 #include "circuits/registry.h"
 #include "tpg/accumulator.h"
+#include "tpg/triplet.h"
 
 namespace fbist::reseed {
 namespace {
@@ -116,6 +118,49 @@ TEST(InitialBuilder, DeterministicGivenSeed) {
   for (std::size_t i = 0; i < a.triplets.size(); ++i) {
     EXPECT_EQ(a.triplets[i].sigma, b.triplets[i].sigma);
     EXPECT_EQ(a.matrix.row(i), b.matrix.row(i));
+  }
+}
+
+// The lane-packed detection-matrix build must stay bit-identical to the
+// seed per-row path (expand_triplet + run per candidate) — detection
+// bits *and* earliest indices — across the T regimes and worker counts.
+TEST(InitialBuilder, BatchedMatrixMatchesPerRowSeedPath) {
+  Fixture f;
+  tpg::AdderTpg tpg(f.nl.num_inputs());
+  for (const std::size_t cycles : {1, 7, 16}) {
+    BuilderOptions opts;
+    opts.cycles_per_triplet = cycles;
+    const InitialReseeding init =
+        build_initial_reseeding(f.fsim, tpg, f.atpg.patterns, opts);
+    ASSERT_TRUE(init.matrix.has_earliest());
+    for (std::size_t i = 0; i < init.triplets.size(); ++i) {
+      const auto ts = tpg::expand_triplet(tpg, init.triplets[i]);
+      const auto direct = f.fsim.run(ts);
+      EXPECT_EQ(init.matrix.row(i), direct.detected)
+          << "T=" << cycles << " row " << i;
+      for (std::size_t c = 0; c < init.matrix.num_cols(); ++c) {
+        ASSERT_EQ(init.matrix.earliest(i, c), direct.earliest[c])
+            << "T=" << cycles << " row " << i << " fault " << c;
+      }
+    }
+  }
+}
+
+TEST(InitialBuilder, BatchedMatrixBitIdenticalAcrossWorkerCounts) {
+  Fixture f;
+  tpg::AdderTpg tpg(f.nl.num_inputs());
+  BuilderOptions opts;
+  opts.cycles_per_triplet = 7;
+  campaign::Scheduler::global().set_workers(1);
+  const auto one = build_initial_reseeding(f.fsim, tpg, f.atpg.patterns, opts);
+  campaign::Scheduler::global().set_workers(4);
+  const auto four = build_initial_reseeding(f.fsim, tpg, f.atpg.patterns, opts);
+  campaign::Scheduler::global().set_workers(0);  // restore default
+  for (std::size_t i = 0; i < one.triplets.size(); ++i) {
+    EXPECT_EQ(one.matrix.row(i), four.matrix.row(i)) << i;
+    for (std::size_t c = 0; c < one.matrix.num_cols(); ++c) {
+      ASSERT_EQ(one.matrix.earliest(i, c), four.matrix.earliest(i, c));
+    }
   }
 }
 

@@ -1,0 +1,232 @@
+// Lane-packed batched fault simulation (FaultSim::run_batched /
+// run_packed): the packed path must be bit-identical to the per-row
+// path — detection bits *and* earliest indices — for every T regime the
+// paper sweeps, odd batch remainders, paired sa0/sa1 sites, and any
+// worker count.
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "campaign/scheduler.h"
+#include "circuits/registry.h"
+#include "fault/fault.h"
+#include "sim/fault_sim.h"
+#include "sim/pattern.h"
+#include "tpg/lfsr.h"
+#include "tpg/triplet.h"
+#include "util/rng.h"
+
+namespace fbist::sim {
+namespace {
+
+std::vector<PatternSet> random_rows(std::size_t num_rows, std::size_t cycles,
+                                    std::size_t width, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<PatternSet> rows;
+  rows.reserve(num_rows);
+  for (std::size_t i = 0; i < num_rows; ++i) {
+    rows.push_back(PatternSet::random(width, cycles, rng));
+  }
+  return rows;
+}
+
+void expect_identical(const FaultSimResult& a, const FaultSimResult& b,
+                      const char* what, std::size_t row) {
+  EXPECT_EQ(a.detected, b.detected) << what << " row " << row;
+  ASSERT_EQ(a.earliest.size(), b.earliest.size());
+  for (std::size_t f = 0; f < a.earliest.size(); ++f) {
+    ASSERT_EQ(a.earliest[f], b.earliest[f])
+        << what << " row " << row << " fault " << f;
+  }
+}
+
+void check_batched_equivalence(const std::string& circuit, bool collapsed,
+                               std::size_t num_rows, std::size_t cycles) {
+  const auto nl = circuits::make_circuit(circuit);
+  const auto fl = collapsed ? fault::FaultList::collapsed(nl)
+                            : fault::FaultList::full(nl);
+  FaultSim fsim(nl, fl);
+  const auto rows = random_rows(num_rows, cycles, nl.num_inputs(),
+                                /*seed=*/cycles * 977 + num_rows);
+
+  std::vector<FaultSimResult> per_row;
+  for (const auto& r : rows) per_row.push_back(fsim.run(r));
+
+  for (const bool parallel : {false, true}) {
+    const auto batched = fsim.run_batched(rows, true, parallel);
+    ASSERT_EQ(batched.size(), rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      expect_identical(batched[i], per_row[i],
+                       parallel ? "parallel" : "serial", i);
+    }
+  }
+}
+
+// The full T sweep of the issue: T=1 (64 rows per block), T=7 (9 rows
+// per block, odd remainder lanes), T=63/64 (one row per block, full and
+// near-full lanes), T=100 (multi-block row, dedicated packing).
+TEST(BatchedSim, BitIdenticalAcrossCycleRegimes) {
+  for (const std::size_t cycles : {1, 7, 63, 64, 100}) {
+    SCOPED_TRACE("T=" + std::to_string(cycles));
+    check_batched_equivalence("c432", /*collapsed=*/true, /*num_rows=*/11,
+                              cycles);
+  }
+}
+
+// Uncollapsed fault lists pair every sa0/sa1 site; the packed walk must
+// keep the per-lane complement injection per polarity correct.
+TEST(BatchedSim, BitIdenticalWithPairedSites) {
+  check_batched_equivalence("c432", /*collapsed=*/false, /*num_rows=*/9,
+                            /*cycles=*/7);
+  check_batched_equivalence("c880", /*collapsed=*/false, /*num_rows=*/13,
+                            /*cycles=*/5);
+}
+
+// Odd batch remainder: a row count that does not divide ⌊64/T⌋ leaves a
+// partial final batch and hole lanes inside blocks.
+TEST(BatchedSim, OddRemaindersAndMixedLengths) {
+  const auto nl = circuits::make_circuit("c880");
+  const auto fl = fault::FaultList::collapsed(nl);
+  FaultSim fsim(nl, fl);
+
+  util::Rng rng(42);
+  std::vector<PatternSet> rows;
+  for (const std::size_t len : {5, 1, 40, 40, 0, 64, 7, 100, 3}) {
+    rows.push_back(PatternSet::random(nl.num_inputs(), len, rng));
+  }
+  const auto batched = fsim.run_batched(rows);
+  ASSERT_EQ(batched.size(), rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto direct = fsim.run(rows[i]);
+    expect_identical(batched[i], direct, "mixed", i);
+  }
+}
+
+TEST(BatchedSim, EmptyInputs) {
+  const auto nl = circuits::make_circuit("c432");
+  const auto fl = fault::FaultList::collapsed(nl);
+  FaultSim fsim(nl, fl);
+  EXPECT_TRUE(fsim.run_batched(std::vector<PatternSet>{}).empty());
+
+  std::vector<PatternSet> rows(3, PatternSet(nl.num_inputs(), 0));
+  const auto batched = fsim.run_batched(rows);
+  ASSERT_EQ(batched.size(), 3u);
+  for (const auto& r : batched) {
+    EXPECT_EQ(r.num_detected(), 0u);
+    for (const auto e : r.earliest) EXPECT_EQ(e, kNotDetected);
+  }
+}
+
+// stop_after_first_detection never changes results (blocks are walked
+// in pattern order), matching the per-row contract.
+TEST(BatchedSim, StopAfterFirstDetectionIsResultNeutral) {
+  const auto nl = circuits::make_circuit("c432");
+  const auto fl = fault::FaultList::collapsed(nl);
+  FaultSim fsim(nl, fl);
+  const auto rows = random_rows(7, 9, nl.num_inputs(), 3);
+  const auto a = fsim.run_batched(rows, /*stop_after_first_detection=*/true);
+  const auto b = fsim.run_batched(rows, /*stop_after_first_detection=*/false);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    expect_identical(a[i], b[i], "stop-flag", i);
+  }
+}
+
+// Bit-identical at any worker count: batches and sites distribute over
+// the shared pool but write disjoint result slots.
+TEST(BatchedSim, BitIdenticalAcrossWorkerCounts) {
+  const auto nl = circuits::make_circuit("c880");
+  const auto fl = fault::FaultList::collapsed(nl);
+  FaultSim fsim(nl, fl);
+  const auto rows = random_rows(17, 7, nl.num_inputs(), 11);
+
+  campaign::Scheduler::global().set_workers(1);
+  const auto one = fsim.run_batched(rows);
+  campaign::Scheduler::global().set_workers(4);
+  const auto four = fsim.run_batched(rows);
+  campaign::Scheduler::global().set_workers(0);  // restore default
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    expect_identical(one[i], four[i], "workers", i);
+  }
+}
+
+// run_packed consumes pre-packed sets (tpg::expand_triplet_into writes
+// triplets straight into their lane ranges — no intermediate per-row
+// PatternSet) and must match expand_triplet + run per row.
+TEST(BatchedSim, PackedTripletExpansionMatchesPerRow) {
+  const auto nl = circuits::make_circuit("c432");
+  const auto fl = fault::FaultList::collapsed(nl);
+  FaultSim fsim(nl, fl);
+  tpg::LfsrTpg tpg(nl.num_inputs());
+
+  util::Rng rng(5);
+  std::vector<tpg::Triplet> triplets(10);
+  std::vector<std::size_t> lengths;
+  for (auto& t : triplets) {
+    t.delta = util::WideWord::random(tpg.width(), rng);
+    t.sigma = tpg.legalize_sigma(util::WideWord::random(tpg.width(), rng));
+    t.cycles = 6;
+    lengths.push_back(t.cycles);
+  }
+
+  const auto packings = pack_rows(lengths);
+  for (const auto& pk : packings) {
+    PatternSet packed(tpg.width(), pk.num_patterns);
+    for (const auto& pr : pk.rows) {
+      tpg::expand_triplet_into(tpg, triplets[pr.row], packed, pr.base);
+    }
+    const auto rs = fsim.run_packed(packed, pk);
+    ASSERT_EQ(rs.size(), pk.rows.size());
+    for (std::size_t i = 0; i < pk.rows.size(); ++i) {
+      const auto ts = tpg::expand_triplet(tpg, triplets[pk.rows[i].row]);
+      const auto direct = fsim.run(ts);
+      expect_identical(rs[i], direct, "packed-triplet", pk.rows[i].row);
+    }
+  }
+}
+
+// ---- pack_rows unit behavior --------------------------------------------
+
+TEST(PackRows, PacksFloorOf64OverT) {
+  const std::vector<std::size_t> lengths(20, 7);  // ⌊64/7⌋ = 9 per block
+  const auto packings = pack_rows(lengths);
+  ASSERT_FALSE(packings.empty());
+  const auto& first = packings.front();
+  // 9 rows in block 0 (lanes 0..62), 9 in block 1, ... 4 blocks/packing.
+  EXPECT_EQ(first.rows[8].base, 56u);
+  EXPECT_EQ(first.rows[9].base, 64u);  // row 10 starts a fresh block
+  EXPECT_LE(first.num_blocks(), 4u);
+  std::size_t total = 0;
+  for (const auto& pk : packings) total += pk.rows.size();
+  EXPECT_EQ(total, lengths.size());
+}
+
+TEST(PackRows, RowsNeverStraddleBlocks) {
+  const auto packings = pack_rows({40, 40, 40});
+  ASSERT_EQ(packings.size(), 1u);
+  EXPECT_EQ(packings[0].rows[0].base, 0u);
+  EXPECT_EQ(packings[0].rows[1].base, 64u);   // 24 hole lanes in block 0
+  EXPECT_EQ(packings[0].rows[2].base, 128u);
+}
+
+TEST(PackRows, LongRowsGetDedicatedPackings) {
+  const auto packings = pack_rows({7, 100, 7});
+  ASSERT_EQ(packings.size(), 3u);
+  EXPECT_EQ(packings[1].rows.size(), 1u);
+  EXPECT_EQ(packings[1].rows[0].length, 100u);
+  EXPECT_EQ(packings[1].num_blocks(), 2u);
+}
+
+TEST(PackRows, MaxBlocksBoundsEachPacking) {
+  const std::vector<std::size_t> lengths(10, 64);
+  const auto packings = pack_rows(lengths, /*max_blocks=*/4);
+  ASSERT_EQ(packings.size(), 3u);  // 4 + 4 + 2 blocks
+  EXPECT_EQ(packings[0].rows.size(), 4u);
+  EXPECT_EQ(packings[2].rows.size(), 2u);
+  const auto unlimited = pack_rows(lengths, /*max_blocks=*/0);
+  ASSERT_EQ(unlimited.size(), 1u);
+  EXPECT_EQ(unlimited[0].num_blocks(), 10u);
+}
+
+}  // namespace
+}  // namespace fbist::sim

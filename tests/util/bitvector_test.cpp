@@ -188,5 +188,52 @@ TEST(BitVectorProperty, LatticeRelations) {
   }
 }
 
+TEST(BitVectorGather, MatchesPerBitCompaction) {
+  Rng rng(11);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 1 + rng.next_below(400);
+    BitVector v(n), mask(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.next_bool(0.5)) v.set(i);
+      if (rng.next_bool(0.3)) mask.set(i);
+    }
+    const BitVector got = v.gather(mask);
+    ASSERT_EQ(got.size(), mask.count());
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!mask.get(i)) continue;
+      EXPECT_EQ(got.get(k), v.get(i)) << "n=" << n << " i=" << i;
+      ++k;
+    }
+  }
+}
+
+TEST(BitVectorGather, EmptyAndFullMasks) {
+  BitVector v(130);
+  v.set(0);
+  v.set(64);
+  v.set(129);
+  EXPECT_EQ(v.gather(BitVector(130)).size(), 0u);
+  const BitVector all = v.gather(BitVector(130, true));
+  ASSERT_EQ(all.size(), 130u);
+  EXPECT_EQ(all, v);
+}
+
+// Output bits of one source word can spill across an output word
+// boundary when earlier mask words had non-multiple-of-64 popcounts.
+TEST(BitVectorGather, WordBoundarySpill) {
+  BitVector v(192), mask(192);
+  for (std::size_t i = 0; i < 40; ++i) mask.set(i);        // 40 bits from word 0
+  for (std::size_t i = 64; i < 128; ++i) mask.set(i);      // 64 bits from word 1
+  for (std::size_t i = 0; i < 192; i += 3) v.set(i);
+  const BitVector got = v.gather(mask);
+  ASSERT_EQ(got.size(), 104u);
+  std::size_t k = 0;
+  mask.for_each_set([&](std::size_t i) {
+    ASSERT_EQ(got.get(k), v.get(i)) << i;
+    ++k;
+  });
+}
+
 }  // namespace
 }  // namespace fbist::util
