@@ -22,10 +22,12 @@
 #include "cover/exact.h"
 #include "cover/greedy.h"
 #include "cover/reduce.h"
+#include "reseed/matrix_cache.h"
 #include "sim/fault_sim.h"
 #include "sim/reference_sim.h"
 #include "util/parallel.h"
 #include "util/rng.h"
+#include "util/simd.h"
 
 namespace {
 
@@ -315,6 +317,76 @@ BENCHMARK(BM_InitialMatrixBuildPerRow)
     ->Arg(32)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+// ---- SIMD dispatch tiers -------------------------------------------------
+//
+// One long fault-sim campaign (s9234, 1024 patterns = 16 blocks) under
+// each forced chunk width.  The narrow/4-wide/8-wide real_time ratios
+// are the measured walk-width speedups on this machine; results are
+// bit-identical across the three rows (the dispatch tests pin that).
+void run_packed_walk_bench(benchmark::State& state, util::SimdTier tier) {
+  const auto nl = circuits::make_circuit("s9234");
+  const auto fl = fault::FaultList::collapsed(nl);
+  sim::FaultSim fsim(nl, fl);
+  util::Rng rng(2);
+  const auto ps = sim::PatternSet::random(nl.num_inputs(), 1024, rng);
+  const util::SimdTier saved = util::simd_tier();
+  util::set_simd_tier(tier);
+  for (auto _ : state) {
+    auto r = fsim.run(ps);
+    benchmark::DoNotOptimize(r);
+  }
+  util::set_simd_tier(saved);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1024 *
+                          static_cast<std::int64_t>(fl.size()));
+}
+
+void BM_PackedWalkNarrow(benchmark::State& state) {
+  run_packed_walk_bench(state, util::SimdTier::kNarrow);
+}
+BENCHMARK(BM_PackedWalkNarrow)->Unit(benchmark::kMillisecond);
+
+void BM_PackedWalk4(benchmark::State& state) {
+  run_packed_walk_bench(state, util::SimdTier::kWide4);
+}
+BENCHMARK(BM_PackedWalk4)->Unit(benchmark::kMillisecond);
+
+void BM_PackedWalk8(benchmark::State& state) {
+  run_packed_walk_bench(state, util::SimdTier::kWide8);
+}
+BENCHMARK(BM_PackedWalk8)->Unit(benchmark::kMillisecond);
+
+// ---- Cross-run matrix cache ----------------------------------------------
+//
+// A hit must cost a key hash plus one matrix copy — compare against the
+// BM_InitialMatrixBuild row at the same T for the skipped-work factor.
+void BM_MatrixCacheHit(benchmark::State& state) {
+  const auto cycles = static_cast<std::size_t>(state.range(0));
+  const auto nl = circuits::make_circuit("s9234");
+  const auto fl = fault::FaultList::collapsed(nl);
+  sim::FaultSim fsim(nl, fl);
+  tpg::AdderTpg tpg(nl.num_inputs());
+  util::Rng rng(3);
+  const std::size_t M = 64;
+  const auto atpg_patterns = sim::PatternSet::random(nl.num_inputs(), M, rng);
+  reseed::BuilderOptions opts;
+  opts.cycles_per_triplet = cycles;
+
+  reseed::MatrixCache cache;
+  {  // warm the cache: the one real build happens outside the timing
+    auto init =
+        reseed::build_initial_reseeding(fsim, tpg, atpg_patterns, opts, &cache);
+    benchmark::DoNotOptimize(init);
+  }
+  for (auto _ : state) {
+    auto init =
+        reseed::build_initial_reseeding(fsim, tpg, atpg_patterns, opts, &cache);
+    benchmark::DoNotOptimize(init);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(M));
+}
+BENCHMARK(BM_MatrixCacheHit)->Arg(8)->Unit(benchmark::kMillisecond);
 
 void BM_TripletExpansion(benchmark::State& state) {
   const auto t = tpg::make_tpg(tpg::TpgKind::kMultiplier, 256);

@@ -3,6 +3,7 @@
 #include <exception>
 #include <map>
 
+#include "reseed/matrix_cache.h"
 #include "reseed/serialize.h"
 #include "util/timer.h"
 
@@ -91,6 +92,12 @@ Report run_campaign(const CampaignSpec& spec, const CampaignOptions& opts,
     }
   }
 
+  // The cache rides in on the pipeline options so every prepared
+  // circuit's runs share it; the shared_ptr keeps it alive past the
+  // campaign for stats readout.
+  reseed::PipelineOptions popts = spec.pipeline;
+  popts.matrix_cache = opts.matrix_cache;
+
   // One task per circuit: prepare, then fan this circuit's runs out as
   // nested tasks (no barrier — fast circuits evaluate while slow ones
   // still run ATPG).  `group` outlives every nested submission because
@@ -98,10 +105,10 @@ Report run_campaign(const CampaignSpec& spec, const CampaignOptions& opts,
   // including nested ones, reaches zero.
   TaskGroup group(*s);
   for (CircuitCtx& ctx : circuits) {
-    group.run([&group, &report, &ctx, &spec] {
+    group.run([&group, &report, &ctx, &popts] {
       try {
         ctx.prepared = reseed::Pipeline::prepare(load_circuit(ctx.name),
-                                                 ctx.name, spec.pipeline);
+                                                 ctx.name, popts);
       } catch (const std::exception& e) {
         ctx.error = e.what();
       } catch (...) {
@@ -113,6 +120,16 @@ Report run_campaign(const CampaignSpec& spec, const CampaignOptions& opts,
     });
   }
   group.wait();
+
+  if (opts.matrix_cache != nullptr) {
+    const reseed::MatrixCacheStats cs = opts.matrix_cache->stats();
+    report.cache.enabled = true;
+    report.cache.hits = cs.hits;
+    report.cache.disk_hits = cs.disk_hits;
+    report.cache.misses = cs.misses;
+    report.cache.stores = cs.stores;
+    report.cache.evictions = cs.evictions;
+  }
 
   report.wall_ms = timer.millis();
   return report;

@@ -20,10 +20,15 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 
 #include "campaign/report.h"
 #include "campaign/scheduler.h"
 #include "campaign/spec.h"
+
+namespace fbist::reseed {
+class MatrixCache;
+}
 
 namespace fbist::campaign {
 
@@ -32,6 +37,13 @@ struct CampaignOptions {
   /// resizes the global scheduler (ignored when an explicit scheduler
   /// is passed to run_campaign).
   std::size_t jobs = 0;
+  /// Cross-run detection-matrix cache shared by every run of the
+  /// campaign (reseed/matrix_cache.h).  Runs that agree on (circuit,
+  /// TPG, T, builder seed) — e.g. a solver sweep — then build their
+  /// matrix once; with a disk-backed cache, repeated campaigns skip
+  /// fault simulation entirely.  The campaign's hit/miss/evict counters
+  /// land in Report::cache.  Null disables caching.
+  std::shared_ptr<reseed::MatrixCache> matrix_cache;
 };
 
 /// Executes the spec and returns the filled report.  Uses the global

@@ -1,24 +1,37 @@
 #include "reseed/initial_builder.h"
 
 #include <cassert>
+#include <memory>
+#include <utility>
 
+#include "reseed/matrix_cache.h"
 #include "util/parallel.h"
+#include "util/simd.h"
 
 namespace fbist::reseed {
 
-InitialReseeding build_initial_reseeding(const sim::FaultSim& fsim,
-                                         const tpg::Tpg& tpg,
-                                         const sim::PatternSet& atpg_patterns,
-                                         const BuilderOptions& opts) {
-  assert(atpg_patterns.num_inputs() == tpg.width());
+namespace {
+
+/// Uncovered columns are derived state: recompute them from the matrix
+/// so cached and freshly built results agree by construction.
+void fill_uncovered(InitialReseeding& out) {
+  const util::BitVector coverable = out.matrix.coverable();
+  for (std::size_t c = 0; c < out.matrix.num_cols(); ++c) {
+    if (!coverable.get(c)) out.uncovered_faults.push_back(c);
+  }
+}
+
+}  // namespace
+
+std::vector<tpg::Triplet> make_candidate_triplets(
+    const tpg::Tpg& tpg, const sim::PatternSet& atpg_patterns,
+    const BuilderOptions& opts) {
   const std::size_t M = atpg_patterns.size();
-  const std::size_t F = fsim.faults().size();
-
-  InitialReseeding out;
-  out.triplets.reserve(M);
-
+  std::vector<tpg::Triplet> triplets;
+  triplets.reserve(M);
   util::Rng rng(opts.seed);
-  util::WideWord shared = tpg.legalize_sigma(util::WideWord::random(tpg.width(), rng));
+  util::WideWord shared =
+      tpg.legalize_sigma(util::WideWord::random(tpg.width(), rng));
   for (std::size_t i = 0; i < M; ++i) {
     tpg::Triplet t;
     t.delta = atpg_patterns.pattern(i);
@@ -26,7 +39,34 @@ InitialReseeding build_initial_reseeding(const sim::FaultSim& fsim,
                   ? shared
                   : tpg.legalize_sigma(util::WideWord::random(tpg.width(), rng));
     t.cycles = opts.cycles_per_triplet == 0 ? 1 : opts.cycles_per_triplet;
-    out.triplets.push_back(std::move(t));
+    triplets.push_back(std::move(t));
+  }
+  return triplets;
+}
+
+InitialReseeding build_initial_reseeding(const sim::FaultSim& fsim,
+                                         const tpg::Tpg& tpg,
+                                         const sim::PatternSet& atpg_patterns,
+                                         const BuilderOptions& opts,
+                                         MatrixCache* cache) {
+  assert(atpg_patterns.num_inputs() == tpg.width());
+  const std::size_t M = atpg_patterns.size();
+  const std::size_t F = fsim.faults().size();
+
+  InitialReseeding out;
+  out.triplets = make_candidate_triplets(tpg, atpg_patterns, opts);
+
+  // The triplets determine the pattern sets and the fault list the
+  // columns measure, so together with the circuit and TPG semantics
+  // they content-address the matrix across runs and processes.
+  MatrixCache::Key key = 0;
+  if (cache != nullptr) {
+    key = MatrixCache::key(fsim.compiled(), fsim.faults(), tpg, out.triplets);
+    if (const auto cached = cache->lookup(key)) {
+      out.matrix = *cached;  // one copy; the fault simulator never runs
+      fill_uncovered(out);
+      return out;
+    }
   }
 
   out.matrix = cover::DetectionMatrix(M, F);
@@ -36,14 +76,16 @@ InitialReseeding build_initial_reseeding(const sim::FaultSim& fsim,
   // T values a lone row wastes most lanes of every 64-pattern PPSFP
   // block — so ⌊64/T⌋ rows are lane-packed into shared blocks
   // (sim::pack_rows) and each triplet expands straight into its lane
-  // range of the packed set.  Batches parallelise on the shared
-  // work-stealing pool exactly like rows did (the nested per-fault
-  // loops inside run_packed compose with this one instead of
-  // oversubscribing), and the matrix is bit-identical to the per-row
-  // path at any worker count.
+  // range of the packed set.  A packing spans one simulation chunk of
+  // the active SIMD dispatch tier (8 blocks on an engaged AVX-512 tier,
+  // else 4).  Batches parallelise on the shared work-stealing pool
+  // exactly like rows did (the nested per-fault loops inside run_packed
+  // compose with this one instead of oversubscribing), and the matrix
+  // is bit-identical to the per-row path at any worker count.
   std::vector<std::size_t> lengths(M);
   for (std::size_t i = 0; i < M; ++i) lengths[i] = out.triplets[i].cycles;
-  const std::vector<sim::LanePacking> packings = sim::pack_rows(lengths);
+  const std::vector<sim::LanePacking> packings =
+      sim::pack_rows(lengths, util::preferred_pack_blocks());
   util::parallel_for(packings.size(), [&](std::size_t p) {
     const sim::LanePacking& pk = packings[p];
     sim::PatternSet packed(tpg.width(), pk.num_patterns);
@@ -58,10 +100,11 @@ InitialReseeding build_initial_reseeding(const sim::FaultSim& fsim,
   });
   out.matrix.attach_earliest(std::move(earliest));
 
-  const util::BitVector coverable = out.matrix.coverable();
-  for (std::size_t c = 0; c < F; ++c) {
-    if (!coverable.get(c)) out.uncovered_faults.push_back(c);
+  if (cache != nullptr) {
+    cache->store(key,
+                 std::make_shared<const cover::DetectionMatrix>(out.matrix));
   }
+  fill_uncovered(out);
   return out;
 }
 

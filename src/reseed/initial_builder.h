@@ -23,6 +23,8 @@
 
 namespace fbist::reseed {
 
+class MatrixCache;
+
 struct BuilderOptions {
   /// Evolution length T applied to every candidate triplet ("the value T
   /// is experimentally tuned and fixed equal for all the triplets").
@@ -44,11 +46,22 @@ struct InitialReseeding {
   std::vector<std::size_t> uncovered_faults;
 };
 
+/// The candidate triplets a build would simulate — deterministic in
+/// (tpg, atpg_patterns, opts).  Exposed so cache keys can be computed
+/// without running the simulator.
+std::vector<tpg::Triplet> make_candidate_triplets(
+    const tpg::Tpg& tpg, const sim::PatternSet& atpg_patterns,
+    const BuilderOptions& opts);
+
 /// Builds the initial reseeding for `atpg_patterns` on `tpg` against the
-/// fault list inside `fsim`.
+/// fault list inside `fsim`.  With a `cache`, the detection matrix is
+/// looked up under its content key first and stored after a build —
+/// sweeps varying only solver/optimizer options then skip the fault
+/// simulator entirely.  Cached and freshly built results are identical.
 InitialReseeding build_initial_reseeding(const sim::FaultSim& fsim,
                                          const tpg::Tpg& tpg,
                                          const sim::PatternSet& atpg_patterns,
-                                         const BuilderOptions& opts = {});
+                                         const BuilderOptions& opts = {},
+                                         MatrixCache* cache = nullptr);
 
 }  // namespace fbist::reseed

@@ -1,0 +1,121 @@
+// Cross-run detection-matrix cache.
+//
+// Building the detection matrix — one PPSFP fault-sim campaign per
+// candidate triplet — dominates pipeline cost even after lane packing,
+// yet paper-style sweeps rebuild the identical matrix for every run
+// that varies only the solver or optimizer options.  MatrixCache makes
+// that reuse explicit: matrices are stored under a content hash of
+// everything the build depends on, so equal inputs hit and *any*
+// divergence (circuit structure, fault list, TPG semantics, candidate
+// triplets — which subsume seed, T and the candidate-row set) misses.
+//
+// Two tiers:
+//   - in-memory LRU of shared_ptr<const DetectionMatrix> entries,
+//     bounded by max_memory_entries (thread-safe; campaign workers
+//     share one cache);
+//   - optional on-disk tier (options.dir): write-through "fbist-dmx v1"
+//     files named <16-hex-key>.dmx (reseed/serialize.h), written
+//     temp-then-rename so concurrent writers and readers never see a
+//     torn file.  Future-version files are rejected loudly by the
+//     serializer and treated as misses.
+//
+// Entries are immutable once stored; hits hand out the shared_ptr, so
+// a hit costs a hash plus a pointer copy, never a matrix copy.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cover/detection_matrix.h"
+#include "fault/fault.h"
+#include "netlist/compiled.h"
+#include "tpg/tpg.h"
+#include "tpg/triplet.h"
+
+namespace fbist::reseed {
+
+struct MatrixCacheOptions {
+  /// On-disk tier directory; empty disables the disk tier.  Created on
+  /// first store if missing.
+  std::string dir;
+  /// In-memory LRU capacity (entries).  Zero disables the memory tier
+  /// (every hit then reloads from disk).
+  std::size_t max_memory_entries = 16;
+};
+
+/// Monotonic counters; hits = memory hits + disk_hits.
+struct MatrixCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t disk_hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t evictions = 0;
+
+  MatrixCacheStats& operator+=(const MatrixCacheStats& o);
+};
+
+class MatrixCache {
+ public:
+  using Key = std::uint64_t;
+
+  explicit MatrixCache(MatrixCacheOptions opts = {});
+
+  /// Content hash of a matrix build.  The candidate triplets enter
+  /// verbatim (delta, sigma, cycles per row), so TPG seed, T and the
+  /// candidate-row set are covered without naming them; the TPG's
+  /// (name, width, config_string) cover the step semantics that expand
+  /// triplets into patterns; the compiled structure and fault list
+  /// cover what the simulator measures.
+  static Key key(const netlist::CompiledCircuit& cc,
+                 const fault::FaultList& faults, const tpg::Tpg& tpg,
+                 const std::vector<tpg::Triplet>& candidates);
+
+  /// Returns the cached matrix or nullptr (a recorded miss).  Disk
+  /// hits are promoted into the memory tier.
+  std::shared_ptr<const cover::DetectionMatrix> lookup(Key k);
+
+  /// Inserts (idempotent: the first stored entry for a key wins) and
+  /// writes through to the disk tier when configured.
+  void store(Key k, std::shared_ptr<const cover::DetectionMatrix> m);
+
+  MatrixCacheStats stats() const;
+  const MatrixCacheOptions& options() const { return opts_; }
+
+  /// One on-disk entry, for `fbist cache list`.
+  struct DiskEntry {
+    Key key = 0;
+    std::string path;
+    std::uintmax_t bytes = 0;
+  };
+  /// Lists a cache directory's entries (sorted by key; never throws —
+  /// a missing directory lists empty).
+  static std::vector<DiskEntry> list_dir(const std::string& dir);
+  /// Removes one entry; returns false when absent.
+  static bool evict_file(const std::string& dir, Key k);
+  /// Removes every entry; returns the number removed.
+  static std::size_t clear_dir(const std::string& dir);
+
+  /// "0123456789abcdef" form used in file names and CLI output.
+  static std::string key_hex(Key k);
+
+ private:
+  std::string disk_path(Key k) const;
+
+  MatrixCacheOptions opts_;
+
+  mutable std::mutex mu_;
+  struct Entry {
+    Key key;
+    std::shared_ptr<const cover::DetectionMatrix> matrix;
+  };
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<Key, std::list<Entry>::iterator> index_;
+  MatrixCacheStats stats_;
+};
+
+}  // namespace fbist::reseed

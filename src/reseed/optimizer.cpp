@@ -93,27 +93,34 @@ ReseedingSolution optimize(const InitialReseeding& initial,
   std::vector<std::size_t> trimmed_cycles(chosen_rows.size(), 0);
   std::vector<std::size_t> assigned(chosen_rows.size(), 0);
 
+  // One word-level pass per *selected* row over its compacted
+  // sub-matrix bits, instead of probing every (column, selected row)
+  // pair bit by bit: each row contributes only its set bits, visited
+  // via the packed-word iterator.  Rows go in chosen_rows order and a
+  // later row wins only on a strictly earlier detection, which is
+  // exactly the tie-break of the per-column scan this replaces.
+  const std::size_t kUnassigned = chosen_rows.size();
+  std::vector<std::size_t> best(work.num_cols(), kUnassigned);
+  std::vector<std::uint32_t> best_idx(work.num_cols(), sim::kNotDetected);
+  for (std::size_t i = 0; i < chosen_rows.size(); ++i) {
+    const std::size_t row = chosen_rows[i];
+    work.row(row).for_each_set([&](std::size_t c) {
+      const std::uint32_t idx =
+          have_earliest ? full.earliest(row, col_map[c]) : 0;
+      if (best[c] == kUnassigned || idx < best_idx[c]) {
+        best[c] = i;
+        best_idx[c] = idx;
+      }
+    });
+  }
   util::BitVector covered_check(work.num_cols());
   for (std::size_t c = 0; c < work.num_cols(); ++c) {
-    const std::size_t fault_col = col_map[c];
-    std::size_t best = chosen_rows.size();
-    std::uint32_t best_idx = sim::kNotDetected;
-    for (std::size_t i = 0; i < chosen_rows.size(); ++i) {
-      const std::size_t row = chosen_rows[i];
-      if (!full.get(row, fault_col)) continue;
-      const std::uint32_t idx =
-          have_earliest ? full.earliest(row, fault_col) : 0;
-      if (best == chosen_rows.size() || idx < best_idx) {
-        best = i;
-        best_idx = idx;
-      }
-    }
-    if (best == chosen_rows.size()) continue;  // should not happen (feasible)
+    if (best[c] == kUnassigned) continue;  // should not happen (feasible)
     covered_check.set(c);
-    ++assigned[best];
+    ++assigned[best[c]];
     if (opts.trim_lengths && have_earliest) {
-      trimmed_cycles[best] =
-          std::max(trimmed_cycles[best], static_cast<std::size_t>(best_idx) + 1);
+      trimmed_cycles[best[c]] = std::max(
+          trimmed_cycles[best[c]], static_cast<std::size_t>(best_idx[c]) + 1);
     }
   }
   sol.faults_covered = covered_check.count();

@@ -62,8 +62,8 @@ std::pair<InitialReseeding, ReseedingSolution> Pipeline::run_detailed(
   BuilderOptions b = opts_.builder;
   if (cycles != 0) b.cycles_per_triplet = cycles;
   b.seed ^= util::hash_string(name_) ^ static_cast<std::uint64_t>(kind);
-  InitialReseeding initial =
-      build_initial_reseeding(*fsim_, *tpg, atpg_.patterns, b);
+  InitialReseeding initial = build_initial_reseeding(
+      *fsim_, *tpg, atpg_.patterns, b, opts_.matrix_cache.get());
   ReseedingSolution sol = optimize(initial, optimizer);
   return {std::move(initial), std::move(sol)};
 }

@@ -30,10 +30,16 @@
 
 namespace fbist::reseed {
 
+class MatrixCache;
+
 struct PipelineOptions {
   atpg::AtpgOptions atpg;
   BuilderOptions builder;
   OptimizerOptions optimizer;
+  /// Cross-run detection-matrix cache (reseed/matrix_cache.h) shared by
+  /// every run of this pipeline — and, when the campaign layer installs
+  /// one, across circuits and processes.  Null disables caching.
+  std::shared_ptr<MatrixCache> matrix_cache;
 };
 
 /// Per-circuit context reusable across TPGs.

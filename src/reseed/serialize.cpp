@@ -1,10 +1,32 @@
 #include "reseed/serialize.h"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
 namespace fbist::reseed {
+
+namespace {
+
+/// Validates a "<magic> <version>" header line, distinguishing "not one
+/// of our files at all" from "ours, but a version this build does not
+/// read" — the latter is what a stale cache file looks like after a
+/// format bump, and it must fail with a message naming both versions.
+void check_header(const std::string& key, const std::string& version,
+                  const char* magic, const char* want_version) {
+  if (key != magic) {
+    throw std::runtime_error(std::string(magic) + ": expected '" + magic + " " +
+                             want_version + "' header, found '" + key + "'");
+  }
+  if (version != want_version) {
+    throw std::runtime_error(std::string(magic) + ": unsupported version '" +
+                             version + "' (this build reads '" + want_version +
+                             "'); rebuild or evict the blob");
+  }
+}
+
+}  // namespace
 
 std::size_t RomImage::test_length() const {
   std::size_t n = 0;
@@ -74,8 +96,10 @@ RomImage read_rom(std::istream& in) {
     if (!header_seen) {
       std::string version;
       ss >> version;
-      if (key != "fbist-rom" || version != "v1") {
-        fail("expected 'fbist-rom v1' header");
+      try {
+        check_header(key, version, "fbist-rom", "v1");
+      } catch (const std::runtime_error& e) {
+        fail(e.what());
       }
       header_seen = true;
       continue;
@@ -134,6 +158,167 @@ RomImage read_rom_file(const std::string& path) {
   std::ifstream f(path);
   if (!f) throw std::runtime_error("cannot open " + path);
   return read_rom(f);
+}
+
+void write_matrix(const cover::DetectionMatrix& m, std::ostream& out) {
+  const std::size_t rows = m.num_rows();
+  const std::size_t cols = m.num_cols();
+  out << "fbist-dmx v1\n";
+  out << "dims " << rows << " " << cols << "\n";
+  out << "has-earliest " << (m.has_earliest() ? 1 : 0) << "\n";
+  char hex[17];
+  for (std::size_t r = 0; r < rows; ++r) {
+    out << "row " << r;
+    for (const util::BitVector::Word w : m.row(r).words()) {
+      std::snprintf(hex, sizeof hex, "%016llx",
+                    static_cast<unsigned long long>(w));
+      out << " " << hex;
+    }
+    out << "\n";
+  }
+  if (!m.has_earliest()) return;
+  // Earliest indices are sparse in practice (only detected pairs carry
+  // one), so each row stores its (col, index) pairs, not the full C
+  // vector.  Detected bits and earliest entries coincide by
+  // construction, but the format does not assume it: pairs round-trip
+  // whatever the matrix holds.
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::size_t k = 0;
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (m.earliest(r, c) != UINT32_MAX) ++k;
+    }
+    out << "edet " << r << " " << k;
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::uint32_t e = m.earliest(r, c);
+      if (e != UINT32_MAX) out << " " << c << " " << e;
+    }
+    out << "\n";
+  }
+}
+
+cover::DetectionMatrix read_matrix(std::istream& in) {
+  std::string line;
+  std::size_t line_no = 0;
+
+  auto fail = [&](const std::string& msg) -> void {
+    throw std::runtime_error("dmx line " + std::to_string(line_no) + ": " + msg);
+  };
+
+  bool header_seen = false;
+  bool dims_seen = false;
+  int has_earliest = -1;
+  std::size_t rows = 0, cols = 0, row_words = 0;
+  cover::DetectionMatrix m;
+  std::vector<std::vector<std::uint32_t>> earliest;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::string key;
+    ss >> key;
+    if (!header_seen) {
+      std::string version;
+      ss >> version;
+      try {
+        check_header(key, version, "fbist-dmx", "v1");
+      } catch (const std::runtime_error& e) {
+        fail(e.what());
+      }
+      header_seen = true;
+      continue;
+    }
+    if (key == "dims") {
+      ss >> rows >> cols;
+      if (ss.fail()) fail("bad dims");
+      m = cover::DetectionMatrix(rows, cols);
+      row_words = (cols + 63) / 64;
+      dims_seen = true;
+    } else if (key == "has-earliest") {
+      ss >> has_earliest;
+      if (ss.fail() || (has_earliest != 0 && has_earliest != 1)) {
+        fail("bad has-earliest flag");
+      }
+      if (!dims_seen) fail("has-earliest before dims");
+      if (has_earliest == 1) {
+        earliest.assign(rows, std::vector<std::uint32_t>(cols, UINT32_MAX));
+      }
+    } else if (key == "row") {
+      if (!dims_seen) fail("row before dims");
+      std::size_t r = 0;
+      ss >> r;
+      if (ss.fail() || r >= rows) fail("bad row index");
+      for (std::size_t w = 0; w < row_words; ++w) {
+        std::string hex;
+        ss >> hex;
+        if (ss.fail() || hex.size() != 16) fail("bad row word");
+        util::BitVector::Word word = 0;
+        for (const char ch : hex) {
+          int digit;
+          if (ch >= '0' && ch <= '9') {
+            digit = ch - '0';
+          } else if (ch >= 'a' && ch <= 'f') {
+            digit = ch - 'a' + 10;
+          } else {
+            fail("bad hex digit in row word");
+            digit = 0;  // unreachable
+          }
+          word = (word << 4) | static_cast<util::BitVector::Word>(digit);
+        }
+        util::BitVector::Word bits = word;
+        while (bits != 0) {
+          const int b = __builtin_ctzll(bits);
+          const std::size_t c = w * 64 + static_cast<std::size_t>(b);
+          if (c >= cols) fail("row bit beyond cols");
+          m.set(r, c);
+          bits &= bits - 1;
+        }
+      }
+    } else if (key == "edet") {
+      if (has_earliest != 1) fail("edet record without has-earliest 1");
+      std::size_t r = 0, k = 0;
+      ss >> r >> k;
+      if (ss.fail() || r >= rows) fail("bad edet header");
+      for (std::size_t i = 0; i < k; ++i) {
+        std::size_t c = 0;
+        std::uint32_t e = 0;
+        ss >> c >> e;
+        if (ss.fail() || c >= cols) fail("bad edet pair");
+        earliest[r][c] = e;
+      }
+    } else {
+      fail("unknown record '" + key + "'");
+    }
+  }
+  if (!header_seen) throw std::runtime_error("dmx: empty input");
+  if (!dims_seen) throw std::runtime_error("dmx: missing dims");
+  if (has_earliest == -1) throw std::runtime_error("dmx: missing has-earliest");
+  if (has_earliest == 1) m.attach_earliest(std::move(earliest));
+  return m;
+}
+
+std::string matrix_to_string(const cover::DetectionMatrix& m) {
+  std::ostringstream ss;
+  write_matrix(m, ss);
+  return ss.str();
+}
+
+cover::DetectionMatrix matrix_from_string(const std::string& text) {
+  std::istringstream ss(text);
+  return read_matrix(ss);
+}
+
+void write_matrix_file(const cover::DetectionMatrix& m,
+                       const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot write " + path);
+  write_matrix(m, f);
+}
+
+cover::DetectionMatrix read_matrix_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  return read_matrix(f);
 }
 
 }  // namespace fbist::reseed

@@ -14,12 +14,27 @@
 //   triplet ...
 //
 // Lines starting with '#' are comments; fields are space-separated.
+//
+// The same layer persists built detection matrices ("fbist-dmx v1"),
+// which back the cross-run matrix cache (reseed/matrix_cache.h):
+//
+//   fbist-dmx v1
+//   dims <rows> <cols>
+//   has-earliest <0|1>
+//   row <r> <16-hex-digit word>...     one line per row, LSB-first words
+//   edet <r> <k> <col> <idx> ...       k detected (col, earliest) pairs
+//
+// Both formats carry an explicit version in the header line; readers
+// reject a blob whose magic matches but whose version does not with a
+// message naming both versions, so stale on-disk cache files fail
+// loudly instead of being misparsed.
 #pragma once
 
 #include <iosfwd>
 #include <string>
 #include <vector>
 
+#include "cover/detection_matrix.h"
 #include "reseed/optimizer.h"
 #include "tpg/triplet.h"
 
@@ -55,5 +70,20 @@ RomImage rom_from_string(const std::string& text);
 
 void write_rom_file(const RomImage& rom, const std::string& path);
 RomImage read_rom_file(const std::string& path);
+
+/// Detection-matrix persistence ("fbist-dmx v1").  Round-trips the bits
+/// and, when attached, the earliest-detection indices exactly;
+/// read_matrix throws std::runtime_error with a line-numbered message
+/// on malformed input and a version-naming message on a future-version
+/// blob.
+void write_matrix(const cover::DetectionMatrix& m, std::ostream& out);
+cover::DetectionMatrix read_matrix(std::istream& in);
+
+std::string matrix_to_string(const cover::DetectionMatrix& m);
+cover::DetectionMatrix matrix_from_string(const std::string& text);
+
+void write_matrix_file(const cover::DetectionMatrix& m,
+                       const std::string& path);
+cover::DetectionMatrix read_matrix_file(const std::string& path);
 
 }  // namespace fbist::reseed

@@ -1,8 +1,10 @@
 #include "sim/fault_sim.h"
 
 #include <cassert>
+#include <utility>
 
 #include "util/parallel.h"
+#include "util/simd.h"
 
 namespace fbist::sim {
 
@@ -12,30 +14,47 @@ using netlist::NetId;
 
 namespace {
 
-/// Four 64-pattern blocks evaluated per cone walk.  The bitwise ops
-/// vectorize; multi-block campaigns amortize one structure walk over
-/// 256 patterns instead of four walks over 64.
-struct Word4 {
-  Word w[4];
+/// N 64-pattern blocks evaluated per cone walk.  The bitwise ops
+/// vectorize — one 256-bit AVX2 op per gate input at N = 4, one 512-bit
+/// AVX-512 op at N = 8 — and multi-block campaigns amortize one
+/// structure walk over N * 64 patterns instead of N walks over 64.
+/// Which N runs is a runtime dispatch decision (util/simd.h).
+template <int N>
+struct WordV {
+  Word w[N];
 };
 
-inline Word4 operator~(const Word4& a) {
-  return {~a.w[0], ~a.w[1], ~a.w[2], ~a.w[3]};
+template <int N>
+inline WordV<N> operator~(const WordV<N>& a) {
+  WordV<N> r;
+  for (int i = 0; i < N; ++i) r.w[i] = ~a.w[i];
+  return r;
 }
-inline Word4 operator&(const Word4& a, const Word4& b) {
-  return {a.w[0] & b.w[0], a.w[1] & b.w[1], a.w[2] & b.w[2], a.w[3] & b.w[3]};
+template <int N>
+inline WordV<N> operator&(const WordV<N>& a, const WordV<N>& b) {
+  WordV<N> r;
+  for (int i = 0; i < N; ++i) r.w[i] = a.w[i] & b.w[i];
+  return r;
 }
-inline Word4 operator|(const Word4& a, const Word4& b) {
-  return {a.w[0] | b.w[0], a.w[1] | b.w[1], a.w[2] | b.w[2], a.w[3] | b.w[3]};
+template <int N>
+inline WordV<N> operator|(const WordV<N>& a, const WordV<N>& b) {
+  WordV<N> r;
+  for (int i = 0; i < N; ++i) r.w[i] = a.w[i] | b.w[i];
+  return r;
 }
-inline Word4 operator^(const Word4& a, const Word4& b) {
-  return {a.w[0] ^ b.w[0], a.w[1] ^ b.w[1], a.w[2] ^ b.w[2], a.w[3] ^ b.w[3]};
+template <int N>
+inline WordV<N> operator^(const WordV<N>& a, const WordV<N>& b) {
+  WordV<N> r;
+  for (int i = 0; i < N; ++i) r.w[i] = a.w[i] ^ b.w[i];
+  return r;
 }
 
 inline bool differs(Word a, Word b) { return a != b; }
-inline bool differs(const Word4& a, const Word4& b) {
-  return ((a.w[0] ^ b.w[0]) | (a.w[1] ^ b.w[1]) | (a.w[2] ^ b.w[2]) |
-          (a.w[3] ^ b.w[3])) != 0;
+template <int N>
+inline bool differs(const WordV<N>& a, const WordV<N>& b) {
+  Word acc = 0;
+  for (int i = 0; i < N; ++i) acc |= a.w[i] ^ b.w[i];
+  return acc != 0;
 }
 
 inline bool test_flag(const std::uint8_t* flags, std::uint32_t slot) {
@@ -155,35 +174,59 @@ inline void walk_cone_program(netlist::Span<std::uint32_t> prog, V* local,
   }
 }
 
-/// Reads the interleaved (4 words per net) good-value layout of one
-/// 4-block chunk.
-struct GoodT {
+/// Reads the interleaved (N words per net) good-value layout of one
+/// N-block chunk.
+template <int N>
+struct GoodV {
   const Word* gT;
-  Word4 operator()(NetId n) const {
-    return Word4{gT[n * 4], gT[n * 4 + 1], gT[n * 4 + 2], gT[n * 4 + 3]};
+  WordV<N> operator()(NetId n) const {
+    WordV<N> r;
+    for (int i = 0; i < N; ++i) r.w[i] = gT[n * N + i];
+    return r;
   }
 };
 
-// The 4-wide walker is compiled once per ISA level with runtime
-// dispatch: on AVX2 hardware the Word4 ops become single 256-bit
-// instructions, which is where the 4-blocks-per-walk layout pays off.
-// The default clone keeps the binary portable.
+// The chunk walkers are compiled once per ISA level with runtime
+// dispatch: on AVX2 hardware the WordV<4> ops become single 256-bit
+// instructions, on AVX-512F hardware the WordV<8> ops become single
+// 512-bit instructions — which is where the N-blocks-per-walk layout
+// pays off.  The default clone keeps the binary portable; which width
+// actually runs is decided per campaign by util::chunk_width_for.
 #if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
 #define FBIST_TARGET_CLONES __attribute__((target_clones("avx2", "default")))
+#define FBIST_TARGET_CLONES_512 \
+  __attribute__((target_clones("avx512f", "avx2", "default")))
 #else
 #define FBIST_TARGET_CLONES
+#define FBIST_TARGET_CLONES_512
 #endif
 
 FBIST_TARGET_CLONES
-void walk4_narrow(netlist::Span<std::uint32_t> prog, Word4* local,
+void walk4_narrow(netlist::Span<std::uint32_t> prog, WordV<4>* local,
                   std::uint8_t* diff_flag, const Word* gT) {
-  walk_cone_program<Word4, true, true, false>(prog, local, diff_flag, GoodT{gT});
+  walk_cone_program<WordV<4>, true, true, false>(prog, local, diff_flag,
+                                                 GoodV<4>{gT});
 }
 
 FBIST_TARGET_CLONES
-void walk4_wide(netlist::Span<std::uint32_t> prog, Word4* local,
+void walk4_wide(netlist::Span<std::uint32_t> prog, WordV<4>* local,
                 std::uint8_t* diff_flag, const Word* gT) {
-  walk_cone_program<Word4, true, false, false>(prog, local, diff_flag, GoodT{gT});
+  walk_cone_program<WordV<4>, true, false, false>(prog, local, diff_flag,
+                                                  GoodV<4>{gT});
+}
+
+FBIST_TARGET_CLONES_512
+void walk8_narrow(netlist::Span<std::uint32_t> prog, WordV<8>* local,
+                  std::uint8_t* diff_flag, const Word* gT) {
+  walk_cone_program<WordV<8>, true, true, false>(prog, local, diff_flag,
+                                                 GoodV<8>{gT});
+}
+
+FBIST_TARGET_CLONES_512
+void walk8_wide(netlist::Span<std::uint32_t> prog, WordV<8>* local,
+                std::uint8_t* diff_flag, const Word* gT) {
+  walk_cone_program<WordV<8>, true, false, false>(prog, local, diff_flag,
+                                                  GoodV<8>{gT});
 }
 
 /// One narrow (single-block) faulty walk of `site_net`'s cone with the
@@ -234,26 +277,36 @@ Word narrow_site_walk(const CompiledCircuit& cc, NetId site_net, const Word* g,
   return diff;
 }
 
-/// 4-wide counterpart of narrow_site_walk over one chunk's interleaved
-/// good values `gT` (4 words per net); returns the unmasked per-block
+/// N-wide counterpart of narrow_site_walk over one chunk's interleaved
+/// good values `gT` (N words per net); returns the unmasked per-block
 /// PO difference words.
-Word4 chunk_site_walk(const CompiledCircuit& cc, NetId site_net, const Word* gT,
-                      const Word4& act, Word4* local,
-                      std::uint8_t* diff_flag) {
+template <int N>
+WordV<N> chunk_site_walk(const CompiledCircuit& cc, NetId site_net,
+                         const Word* gT, const WordV<N>& act, WordV<N>* local,
+                         std::uint8_t* diff_flag) {
   const netlist::Span<std::uint32_t> prog = cc.cone_program(site_net);
-  const GoodT good_of{gT};
+  const GoodV<N> good_of{gT};
   std::fill(diff_flag, diff_flag + cc.cone_gates(site_net).size() + 2, 0);
   local[0] = good_of(site_net) ^ act;
   diff_flag[0] = 1;
-  if (cc.narrow_programs()) {
-    walk4_narrow(prog, local, diff_flag, gT);
+  if constexpr (N == 4) {
+    if (cc.narrow_programs()) {
+      walk4_narrow(prog, local, diff_flag, gT);
+    } else {
+      walk4_wide(prog, local, diff_flag, gT);
+    }
   } else {
-    walk4_wide(prog, local, diff_flag, gT);
+    static_assert(N == 8, "only 4- and 8-wide chunk walkers are compiled");
+    if (cc.narrow_programs()) {
+      walk8_narrow(prog, local, diff_flag, gT);
+    } else {
+      walk8_wide(prog, local, diff_flag, gT);
+    }
   }
   const netlist::Span<std::uint32_t> cone_outs = cc.cone_outputs(site_net);
   const netlist::Span<std::uint32_t> cone_slots = cc.cone_output_slots(site_net);
   const auto& outs = cc.outputs();
-  Word4 diff{};
+  WordV<N> diff{};
   for (std::size_t i = 0; i < cone_outs.size(); ++i) {
     const std::uint32_t slot = cone_slots[i];
     if (!test_flag(diff_flag, slot)) continue;
@@ -262,31 +315,65 @@ Word4 chunk_site_walk(const CompiledCircuit& cc, NetId site_net, const Word* gT,
   return diff;
 }
 
-/// Builds the block-interleaved (4 words per net) good-value layout and
+/// Builds the block-interleaved (N words per net) good-value layout and
 /// per-chunk lane masks for `nchunks` chunks whose j-th block is
-/// first_block + chunk*4 + j.  `lanes_of(b)` is the valid-lane mask of
+/// first_block + chunk*N + j.  `lanes_of(b)` is the valid-lane mask of
 /// real block b; absent blocks get zero lanes and replicate the last
 /// real block's good values, so the site is never flipped there and the
 /// padding cannot trip the per-gate differs() check that drives the
 /// touched-scan skip.  Shared by the per-row and packed paths, which
 /// must stay bit-identical.
-template <typename LanesFn>
+template <int N, typename LanesFn>
 void build_chunk_goods(const CompiledCircuit& cc,
                        const std::vector<std::vector<Word>>& good,
                        std::size_t first_block, std::size_t nchunks,
                        LanesFn lanes_of, std::vector<std::vector<Word>>& goodT,
-                       std::vector<Word4>& chunk_lanes) {
+                       std::vector<WordV<N>>& chunk_lanes) {
   const std::size_t blocks = good.size();
   goodT.resize(nchunks);
   chunk_lanes.resize(nchunks);
   for (std::size_t chunk = 0; chunk < nchunks; ++chunk) {
     auto& t = goodT[chunk];
-    t.resize(cc.num_nets() * 4);
-    for (std::size_t j = 0; j < 4; ++j) {
-      const std::size_t b = first_block + chunk * 4 + j;
+    t.resize(cc.num_nets() * N);
+    for (std::size_t j = 0; j < static_cast<std::size_t>(N); ++j) {
+      const std::size_t b = first_block + chunk * N + j;
       chunk_lanes[chunk].w[j] = b < blocks ? lanes_of(b) : Word{0};
       const Word* const gb = good[b >= blocks ? blocks - 1 : b].data();
-      for (std::size_t n = 0; n < cc.num_nets(); ++n) t[n * 4 + j] = gb[n];
+      for (std::size_t n = 0; n < cc.num_nets(); ++n) t[n * N + j] = gb[n];
+    }
+  }
+}
+
+/// Walks every chunk of one site's cone, demuxing nonzero per-block
+/// difference words through `demux(block, diff, gs)`.  `want()` returns
+/// the polarities still sought; both false stops the site.  Blocks are
+/// visited in ascending pattern order, so earliest-detection semantics
+/// match the narrow walk and the 4- and 8-wide tiers bit-for-bit — only
+/// the early-exit granularity (one chunk) differs between widths.
+template <int N, typename WantFn, typename DemuxFn>
+void walk_site_chunks(const CompiledCircuit& cc, NetId site_net,
+                      std::size_t first_block, std::size_t blocks,
+                      const std::vector<std::vector<Word>>& goodT,
+                      const std::vector<WordV<N>>& chunk_lanes, WordV<N>* local,
+                      std::uint8_t* diff_flag, WantFn want, DemuxFn demux) {
+  const std::size_t nchunks = goodT.size();
+  for (std::size_t chunk = 0; chunk < nchunks; ++chunk) {
+    const std::pair<bool, bool> w = want();
+    if (!w.first && !w.second) return;
+    const Word* const gT = goodT[chunk].data();
+    const WordV<N> lanes = chunk_lanes[chunk];
+    const WordV<N> gs = GoodV<N>{gT}(site_net);
+    const WordV<N> zero{};
+    const WordV<N> act =
+        ((w.first ? gs : zero) | (w.second ? ~gs : zero)) & lanes;
+    if (!differs(act, zero)) continue;
+
+    const WordV<N> diff =
+        chunk_site_walk<N>(cc, site_net, gT, act, local, diff_flag) & lanes;
+    for (std::size_t j = 0; j < static_cast<std::size_t>(N); ++j) {
+      const std::size_t b = first_block + chunk * N + j;
+      if (b >= blocks || diff.w[j] == 0) continue;
+      demux(b, diff.w[j], gs.w[j]);
     }
   }
 }
@@ -295,20 +382,22 @@ void build_chunk_goods(const CompiledCircuit& cc,
 /// so it stays small and hot even on circuits whose per-net arrays do
 /// not fit in cache).  max_slots must cover the root slot and the
 /// outside-sentinel slot (+2), which branchless selects may load
-/// speculatively.
+/// speculatively.  `localv` backs the WordV<N> chunk scratch of the
+/// campaign's dispatch width (N words per slot).
 struct WalkScratch {
   std::vector<Word> local1;
-  std::vector<Word4> local4;
+  std::vector<Word> localv;
   std::vector<std::uint8_t> diff_flag;
 };
 
 std::vector<WalkScratch> make_scratches(std::size_t workers,
                                         std::size_t max_slots,
-                                        bool need_narrow, bool need_wide) {
+                                        bool need_narrow,
+                                        std::size_t chunk_width) {
   std::vector<WalkScratch> scratches(workers);
   for (auto& s : scratches) {
     s.local1.assign(need_narrow ? max_slots : 0, 0);
-    s.local4.assign(need_wide ? max_slots : 0, Word4{});
+    s.localv.assign(chunk_width * max_slots, 0);
     s.diff_flag.assign(max_slots, 0);
   }
   return scratches;
@@ -380,21 +469,29 @@ FaultSimResult FaultSim::run_subset(const PatternSet& patterns,
 
   // Campaign layout: block 0 is walked alone — most faults are detected
   // there and then cost exactly one narrow cone walk.  The remaining
-  // blocks are walked in 4-wide chunks over block-interleaved good
-  // values, so faults that survive block 0 amortize one structure walk
-  // over up to 256 patterns.
-  const std::size_t lead_blocks = std::min<std::size_t>(blocks, 1);
-  const std::size_t nchunks = blocks > 1 ? (blocks - 1 + 3) / 4 : 0;
+  // blocks are walked in 4- or 8-wide chunks (runtime dispatch,
+  // util::chunk_width_for) over block-interleaved good values, so
+  // faults that survive block 0 amortize one structure walk over up to
+  // 256 or 512 patterns.  A forced-narrow tier walks every block alone.
+  const std::size_t cw =
+      blocks > 1 ? util::chunk_width_for(blocks - 1) : 0;
+  const std::size_t lead_blocks = cw == 0 ? blocks : 1;
+  const std::size_t nchunks = cw == 0 ? 0 : (blocks - 1 + cw - 1) / cw;
   std::vector<std::vector<Word>> goodT;
-  std::vector<Word4> chunk_lanes;
-  build_chunk_goods(cc, good, /*first_block=*/1, nchunks, block_lanes, goodT,
-                    chunk_lanes);
+  std::vector<WordV<4>> chunk_lanes4;
+  std::vector<WordV<8>> chunk_lanes8;
+  if (cw == 4) {
+    build_chunk_goods<4>(cc, good, /*first_block=*/1, nchunks, block_lanes,
+                         goodT, chunk_lanes4);
+  } else if (cw == 8) {
+    build_chunk_goods<8>(cc, good, /*first_block=*/1, nchunks, block_lanes,
+                         goodT, chunk_lanes8);
+  }
 
   const std::size_t max_slots = cc.max_cone_gates() + 2;
   const std::size_t workers = parallel ? util::parallel_workers() : 1;
   std::vector<WalkScratch> scratches =
-      make_scratches(workers, max_slots, /*need_narrow=*/true,
-                     /*need_wide=*/nchunks > 0);
+      make_scratches(workers, max_slots, /*need_narrow=*/true, cw);
 
   constexpr std::size_t kNoFault = static_cast<std::size_t>(-1);
   auto simulate_site = [&](std::size_t sid, std::size_t worker) {
@@ -446,28 +543,26 @@ FaultSimResult FaultSim::run_subset(const PatternSet& patterns,
       }
     }
 
-    for (std::size_t chunk = 0; chunk < nchunks && (live[0] || live[1]); ++chunk) {
-      const Word* const gT = goodT[chunk].data();
-      const Word4 lanes = chunk_lanes[chunk];
-      const Word4 gs = GoodT{gT}(site.net);
-      const Word4 zero{};
-      const Word4 act = ((live[0] ? gs : zero) | (live[1] ? ~gs : zero)) & lanes;
-      if (!differs(act, zero)) continue;
-
-      const Word4 diff = chunk_site_walk(cc, site.net, gT, act,
-                                         sc.local4.data(), diff_flag) &
-                         lanes;
-      for (int s = 0; s < 2 && (live[0] || live[1]); ++s) {
+    const auto want = [&]() { return std::make_pair(live[0], live[1]); };
+    const auto demux = [&](std::size_t b, Word diff, Word gs) {
+      for (int s = 0; s < 2; ++s) {
         if (!live[s]) continue;
-        const Word4 pol_mask = s == 0 ? gs : ~gs;
-        for (std::size_t j = 0; j < 4; ++j) {
-          const Word d = diff.w[j] & pol_mask.w[j];
-          if (d == 0) continue;
-          record(site.fid[s], d, 1 + chunk * 4 + j);
-          live[s] = false;
-          break;  // earliest block found for this polarity
-        }
+        const Word d = diff & (s == 0 ? gs : ~gs);
+        if (d == 0) continue;
+        record(site.fid[s], d, b);  // blocks ascend, so the first hit wins
+        live[s] = false;
       }
+    };
+    if (cw == 4) {
+      walk_site_chunks<4>(cc, site.net, /*first_block=*/1, blocks, goodT,
+                          chunk_lanes4,
+                          reinterpret_cast<WordV<4>*>(sc.localv.data()),
+                          diff_flag, want, demux);
+    } else if (cw == 8) {
+      walk_site_chunks<8>(cc, site.net, /*first_block=*/1, blocks, goodT,
+                          chunk_lanes8,
+                          reinterpret_cast<WordV<8>*>(sc.localv.data()),
+                          diff_flag, want, demux);
     }
     (void)stop_after_first_detection;  // first detection always terminates
   };
@@ -501,7 +596,9 @@ std::vector<FaultSimResult> FaultSim::run_batched(
 
   std::vector<std::size_t> lengths(num_rows);
   for (std::size_t i = 0; i < num_rows; ++i) lengths[i] = rows[i].size();
-  const std::vector<LanePacking> packings = pack_rows(lengths);
+  // Packings span one simulation chunk of the active dispatch tier.
+  const std::vector<LanePacking> packings =
+      pack_rows(lengths, util::preferred_pack_blocks());
 
   // Packings are independent campaigns writing disjoint result slots,
   // so they parallelize on the shared pool like per-row campaigns do;
@@ -577,22 +674,30 @@ std::vector<FaultSimResult> FaultSim::run_packed(const PatternSet& packed,
     }
   }
 
-  // All blocks of a multi-block packing are walked in 4-wide chunks
-  // (one structure walk per 256 packed patterns); a single-block
-  // packing takes the cheaper narrow walk.
-  const std::size_t nchunks = blocks > 1 ? (blocks + 3) / 4 : 0;
+  // All blocks of a multi-block packing are walked in 4- or 8-wide
+  // chunks (one structure walk per 256 or 512 packed patterns; runtime
+  // dispatch, util::chunk_width_for); a single-block packing — or a
+  // forced-narrow tier — takes the cheaper narrow walk per block.
+  const std::size_t cw = blocks > 1 ? util::chunk_width_for(blocks) : 0;
+  const std::size_t nchunks = cw == 0 ? 0 : (blocks + cw - 1) / cw;
   std::vector<std::vector<Word>> goodT;
-  std::vector<Word4> chunk_lanes;
-  build_chunk_goods(
-      cc, good, /*first_block=*/0, nchunks,
-      [&union_lanes](std::size_t b) { return union_lanes[b]; }, goodT,
-      chunk_lanes);
+  std::vector<WordV<4>> chunk_lanes4;
+  std::vector<WordV<8>> chunk_lanes8;
+  const auto union_lanes_of = [&union_lanes](std::size_t b) {
+    return union_lanes[b];
+  };
+  if (cw == 4) {
+    build_chunk_goods<4>(cc, good, /*first_block=*/0, nchunks, union_lanes_of,
+                         goodT, chunk_lanes4);
+  } else if (cw == 8) {
+    build_chunk_goods<8>(cc, good, /*first_block=*/0, nchunks, union_lanes_of,
+                         goodT, chunk_lanes8);
+  }
 
   const std::size_t max_slots = cc.max_cone_gates() + 2;
   const std::size_t workers = parallel ? util::parallel_workers() : 1;
   std::vector<WalkScratch> scratches =
-      make_scratches(workers, max_slots, /*need_narrow=*/nchunks == 0,
-                     /*need_wide=*/nchunks > 0);
+      make_scratches(workers, max_slots, /*need_narrow=*/cw == 0, cw);
 
   constexpr std::size_t kNoFault = static_cast<std::size_t>(-1);
   auto simulate_site = [&](std::size_t sid, std::size_t worker) {
@@ -628,37 +733,39 @@ std::vector<FaultSimResult> FaultSim::run_packed(const PatternSet& packed,
     };
 
     if (nchunks == 0) {
-      // Single packed block: one narrow precopy walk, as in the lead
-      // block of the per-row path.
-      const Word* const g = good[0].data();
-      const Word lanes = union_lanes[0];
-      const Word gs = g[site.net];
-      const Word act =
-          ((has[0] ? gs : Word{0}) | (has[1] ? ~gs : Word{0})) & lanes;
-      if (act == 0) return;
-      const Word diff =
-          narrow_site_walk(cc, site.net, g, act, sc.local1.data(), diff_flag) &
-          lanes;
-      if (diff != 0) demux(0, diff, gs);
+      // Narrow walks, one per block, as in the lead block of the
+      // per-row path (a single packed block is the common case; a
+      // forced-narrow tier visits every block this way).
+      for (std::size_t b = 0; b < blocks && remaining > 0; ++b) {
+        const Word* const g = good[b].data();
+        const Word lanes = union_lanes[b];
+        const Word gs = g[site.net];
+        const Word act =
+            ((has[0] ? gs : Word{0}) | (has[1] ? ~gs : Word{0})) & lanes;
+        if (act == 0) continue;
+        const Word diff =
+            narrow_site_walk(cc, site.net, g, act, sc.local1.data(),
+                             diff_flag) &
+            lanes;
+        if (diff != 0) demux(b, diff, gs);
+      }
       return;
     }
 
-    for (std::size_t chunk = 0; chunk < nchunks && remaining > 0; ++chunk) {
-      const Word* const gT = goodT[chunk].data();
-      const Word4 lanes = chunk_lanes[chunk];
-      const Word4 gs = GoodT{gT}(site.net);
-      const Word4 zero{};
-      const Word4 act = ((has[0] ? gs : zero) | (has[1] ? ~gs : zero)) & lanes;
-      if (!differs(act, zero)) continue;
-
-      const Word4 diff = chunk_site_walk(cc, site.net, gT, act,
-                                         sc.local4.data(), diff_flag) &
-                         lanes;
-      for (std::size_t j = 0; j < 4; ++j) {
-        const std::size_t b = chunk * 4 + j;
-        if (b >= blocks || diff.w[j] == 0) continue;
-        demux(b, diff.w[j], gs.w[j]);
-      }
+    const auto want = [&]() {
+      return remaining > 0 ? std::make_pair(has[0], has[1])
+                           : std::make_pair(false, false);
+    };
+    if (cw == 4) {
+      walk_site_chunks<4>(cc, site.net, /*first_block=*/0, blocks, goodT,
+                          chunk_lanes4,
+                          reinterpret_cast<WordV<4>*>(sc.localv.data()),
+                          diff_flag, want, demux);
+    } else {
+      walk_site_chunks<8>(cc, site.net, /*first_block=*/0, blocks, goodT,
+                          chunk_lanes8,
+                          reinterpret_cast<WordV<8>*>(sc.localv.data()),
+                          diff_flag, want, demux);
     }
   };
 

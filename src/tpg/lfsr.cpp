@@ -21,6 +21,15 @@ LfsrTpg::LfsrTpg(std::size_t width, std::vector<std::size_t> taps)
   }
 }
 
+std::string LfsrTpg::config_string() const {
+  std::string s = "taps:";
+  for (std::size_t i = 0; i < taps_.size(); ++i) {
+    if (i != 0) s += ',';
+    s += std::to_string(taps_[i]);
+  }
+  return s;
+}
+
 util::WideWord LfsrTpg::step(const util::WideWord& state,
                              const util::WideWord& sigma) const {
   bool feedback = false;

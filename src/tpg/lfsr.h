@@ -27,6 +27,7 @@ class LfsrTpg final : public Tpg {
   util::WideWord step(const util::WideWord& state,
                       const util::WideWord& sigma) const override;
   std::string name() const override { return "lfsr"; }
+  std::string config_string() const override;
 
   const std::vector<std::size_t>& taps() const { return taps_; }
 

@@ -37,6 +37,12 @@ class Tpg {
 
   /// Short display name: "adder", "multiplier", ...
   virtual std::string name() const = 0;
+
+  /// Configuration fingerprint beyond (name, width) that changes the
+  /// pattern sequence — e.g. LFSR tap polynomials.  Folded into
+  /// cross-run cache keys (reseed/matrix_cache.h); two TPGs with equal
+  /// name, width and config_string must generate identical sequences.
+  virtual std::string config_string() const { return ""; }
 };
 
 /// TPG kinds evaluated in the paper (plus the LFSR extension).

@@ -80,6 +80,113 @@ TEST(Serialize, RejectsIncompleteHeader) {
                std::runtime_error);
 }
 
+// A future-version blob must fail with a message naming both versions
+// (the cache layer relies on loud rejection of stale files).
+TEST(Serialize, VersionMismatchNamesBothVersions) {
+  try {
+    rom_from_string("fbist-rom v2\n");
+    FAIL() << "v2 accepted";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("v2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("v1"), std::string::npos) << msg;
+  }
+}
+
+// ---- detection-matrix persistence ("fbist-dmx v1") ----------------------
+
+cover::DetectionMatrix sample_matrix(std::size_t rows, std::size_t cols,
+                                     bool with_earliest, std::uint64_t seed) {
+  util::Rng rng(seed);
+  cover::DetectionMatrix m(rows, cols);
+  std::vector<std::vector<std::uint32_t>> earliest(
+      rows, std::vector<std::uint32_t>(cols, UINT32_MAX));
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (rng.next_below(3) == 0) {
+        m.set(r, c);
+        earliest[r][c] = static_cast<std::uint32_t>(rng.next_below(500));
+      }
+    }
+  }
+  if (with_earliest) m.attach_earliest(std::move(earliest));
+  return m;
+}
+
+void expect_matrices_equal(const cover::DetectionMatrix& a,
+                           const cover::DetectionMatrix& b) {
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  ASSERT_EQ(a.num_cols(), b.num_cols());
+  ASSERT_EQ(a.has_earliest(), b.has_earliest());
+  for (std::size_t r = 0; r < a.num_rows(); ++r) {
+    ASSERT_EQ(a.row(r), b.row(r)) << "row " << r;
+    if (!a.has_earliest()) continue;
+    for (std::size_t c = 0; c < a.num_cols(); ++c) {
+      ASSERT_EQ(a.earliest(r, c), b.earliest(r, c)) << r << "," << c;
+    }
+  }
+}
+
+TEST(MatrixSerialize, RoundTripBitsAndEarliest) {
+  // Column counts straddling word boundaries, with and without the
+  // earliest payload.
+  for (const std::size_t cols : {1u, 63u, 64u, 65u, 200u}) {
+    for (const bool with_earliest : {false, true}) {
+      SCOPED_TRACE("cols=" + std::to_string(cols) +
+                   " earliest=" + std::to_string(with_earliest));
+      const auto m = sample_matrix(7, cols, with_earliest, cols * 7 + 1);
+      expect_matrices_equal(m, matrix_from_string(matrix_to_string(m)));
+    }
+  }
+}
+
+TEST(MatrixSerialize, RoundTripEmptyAndDense) {
+  expect_matrices_equal(cover::DetectionMatrix(0, 0),
+                        matrix_from_string(matrix_to_string(
+                            cover::DetectionMatrix(0, 0))));
+  cover::DetectionMatrix dense(3, 130);
+  std::vector<std::vector<std::uint32_t>> e(
+      3, std::vector<std::uint32_t>(130, 0));
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 130; ++c) {
+      dense.set(r, c);
+      e[r][c] = static_cast<std::uint32_t>(r * 1000 + c);
+    }
+  }
+  dense.attach_earliest(std::move(e));
+  expect_matrices_equal(dense, matrix_from_string(matrix_to_string(dense)));
+}
+
+TEST(MatrixSerialize, RoundTripThroughFile) {
+  const auto m = sample_matrix(5, 100, /*with_earliest=*/true, 9);
+  const std::string path = ::testing::TempDir() + "fbist_dmx_roundtrip.dmx";
+  write_matrix_file(m, path);
+  expect_matrices_equal(m, read_matrix_file(path));
+  std::remove(path.c_str());
+}
+
+TEST(MatrixSerialize, RejectsBadInput) {
+  EXPECT_THROW(matrix_from_string(""), std::runtime_error);
+  EXPECT_THROW(matrix_from_string("fbist-rom v1\n"), std::runtime_error);
+  EXPECT_THROW(matrix_from_string("fbist-dmx v1\n"), std::runtime_error);
+  EXPECT_THROW(matrix_from_string("fbist-dmx v1\ndims 2 4\n"),
+               std::runtime_error);  // missing has-earliest
+  EXPECT_THROW(
+      matrix_from_string("fbist-dmx v1\ndims 1 4\nhas-earliest 0\nrow 5 0\n"),
+      std::runtime_error);  // row index out of range
+}
+
+TEST(MatrixSerialize, VersionMismatchNamesBothVersions) {
+  try {
+    matrix_from_string("fbist-dmx v7\n");
+    FAIL() << "v7 accepted";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("v7"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("v1"), std::string::npos) << msg;
+  }
+}
+
 TEST(Serialize, FileRoundTrip) {
   const RomImage rom = sample_rom();
   const std::string path = "/tmp/fbist_serialize_test.rom";

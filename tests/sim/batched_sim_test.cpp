@@ -16,6 +16,7 @@
 #include "tpg/lfsr.h"
 #include "tpg/triplet.h"
 #include "util/rng.h"
+#include "util/simd.h"
 
 namespace fbist::sim {
 namespace {
@@ -182,6 +183,83 @@ TEST(BatchedSim, PackedTripletExpansionMatchesPerRow) {
       const auto direct = fsim.run(ts);
       expect_identical(rs[i], direct, "packed-triplet", pk.rows[i].row);
     }
+  }
+}
+
+// ---- SIMD dispatch tiers ------------------------------------------------
+
+/// Restores the ambient tier even when an assertion aborts the test.
+struct TierGuard {
+  util::SimdTier saved = util::simd_tier();
+  ~TierGuard() { util::set_simd_tier(saved); }
+};
+
+// The narrow, 4-wide and 8-wide walkers must be bit-identical — the
+// wider tiers only change how many blocks one structure walk covers.
+// Forcing kWide8 is safe on any machine: target_clones falls back to
+// the best available ISA clone, the block math is the same.
+TEST(SimdDispatch, ForcedTiersBitIdenticalBatched) {
+  const auto nl = circuits::make_circuit("c880");
+  const auto fl = fault::FaultList::collapsed(nl);
+  FaultSim fsim(nl, fl);
+  TierGuard guard;
+  for (const std::size_t cycles : {1, 7, 64}) {
+    SCOPED_TRACE("T=" + std::to_string(cycles));
+    const auto rows = random_rows(11, cycles, nl.num_inputs(),
+                                  /*seed=*/cycles * 31 + 5);
+    util::set_simd_tier(util::SimdTier::kNarrow);
+    const auto narrow = fsim.run_batched(rows);
+    for (const util::SimdTier tier :
+         {util::SimdTier::kWide4, util::SimdTier::kWide8,
+          util::SimdTier::kAuto}) {
+      util::set_simd_tier(tier);
+      const auto other = fsim.run_batched(rows);
+      ASSERT_EQ(other.size(), narrow.size());
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        expect_identical(other[i], narrow[i], "tier", i);
+      }
+    }
+  }
+}
+
+// Long campaigns through run(): block 0 leads narrow, the remaining
+// blocks chunk at the forced width (10 blocks = two full 4-wide chunks
+// + remainder, or one full 8-wide chunk + remainder — both with padded
+// tail lanes).
+TEST(SimdDispatch, ForcedTiersBitIdenticalLongRun) {
+  const auto nl = circuits::make_circuit("c432");
+  const auto fl = fault::FaultList::collapsed(nl);
+  FaultSim fsim(nl, fl);
+  util::Rng rng(19);
+  const PatternSet patterns = PatternSet::random(nl.num_inputs(), 600, rng);
+  TierGuard guard;
+  util::set_simd_tier(util::SimdTier::kNarrow);
+  const auto narrow = fsim.run(patterns);
+  for (const util::SimdTier tier :
+       {util::SimdTier::kWide4, util::SimdTier::kWide8, util::SimdTier::kAuto}) {
+    util::set_simd_tier(tier);
+    const auto other = fsim.run(patterns);
+    expect_identical(other, narrow, "long-run-tier", 0);
+  }
+}
+
+// Tier x worker-count cross: results stay bit-identical when the 8-wide
+// chunks distribute over the pool.
+TEST(SimdDispatch, Wide8BitIdenticalAcrossWorkerCounts) {
+  const auto nl = circuits::make_circuit("c880");
+  const auto fl = fault::FaultList::collapsed(nl);
+  FaultSim fsim(nl, fl);
+  const auto rows = random_rows(17, 7, nl.num_inputs(), 23);
+
+  TierGuard guard;
+  util::set_simd_tier(util::SimdTier::kWide8);
+  campaign::Scheduler::global().set_workers(1);
+  const auto one = fsim.run_batched(rows);
+  campaign::Scheduler::global().set_workers(4);
+  const auto four = fsim.run_batched(rows);
+  campaign::Scheduler::global().set_workers(0);  // restore default
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    expect_identical(one[i], four[i], "wide8-workers", i);
   }
 }
 

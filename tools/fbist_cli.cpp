@@ -20,9 +20,15 @@
 //       --jobs N             worker threads          (default: all cores)
 //       --json FILE          write the campaign report as JSON
 //       --timings            include wall-clock + jobs in the JSON
+//       --cache DIR          detection-matrix cache directory; runs that
+//                            share (circuit, TPG, T, seed) build their
+//                            matrix once, repeated campaigns reuse the
+//                            on-disk matrices instead of re-simulating
 //     Flags extend/override the spec file; each circuit is compiled and
 //     ATPG-prepared once and shared by all of its runs.  The report is
-//     bit-identical for any --jobs value.
+//     bit-identical for any --jobs value, cached or not.
+//   cache list|clear <dir>                   inspect / empty a cache dir
+//   cache evict <dir> <key>                  drop one entry (16-hex key)
 //   gen <pi> <po> <gates> <seed>             emit a synthetic .bench to stdout
 //   list                                     registry circuit names
 //
@@ -43,6 +49,7 @@
 #include "cover/instance_io.h"
 #include "netlist/bench_io.h"
 #include "netlist/stats.h"
+#include "reseed/matrix_cache.h"
 #include "reseed/pipeline.h"
 #include "reseed/report.h"
 #include "reseed/serialize.h"
@@ -65,6 +72,8 @@ int usage() {
       "  solve <instance.scp> [--solver exact|greedy]\n"
       "  campaign [spec.txt] [--circuits a,b,c] [--tpgs k1,k2] [--cycles n1,n2]\n"
       "           [--solvers exact|greedy] [--jobs N] [--json FILE] [--timings]\n"
+      "           [--cache DIR]\n"
+      "  cache list <dir> | clear <dir> | evict <dir> <key>\n"
       "  gen <pi> <po> <gates> <seed>\n"
       "  list\n"
       "circuit = registry name (see 'list') or a .bench file path\n";
@@ -315,12 +324,22 @@ int cmd_campaign(const std::vector<std::string>& args) {
       json_path = need_value("--json");
     } else if (args[i] == "--timings") {
       timings = true;
+    } else if (args[i] == "--cache") {
+      reseed::MatrixCacheOptions mopts;
+      mopts.dir = need_value("--cache");
+      copts.matrix_cache = std::make_shared<reseed::MatrixCache>(mopts);
     } else if (args[i].rfind("--", 0) == 0) {
       throw std::runtime_error("unknown flag: " + args[i]);
     }
   }
   const campaign::Report report = campaign::run_campaign(spec, copts);
   std::cout << report.summary();
+  if (report.cache.enabled) {
+    std::cout << "matrix cache: " << report.cache.hits << " hits ("
+              << report.cache.disk_hits << " from disk), "
+              << report.cache.misses << " misses, " << report.cache.stores
+              << " stored, " << report.cache.evictions << " evicted\n";
+  }
   if (!json_path.empty()) {
     std::ofstream out(json_path);
     if (!out) throw std::runtime_error("cannot write " + json_path);
@@ -329,6 +348,45 @@ int cmd_campaign(const std::vector<std::string>& args) {
               << report.runs.size() << " runs)\n";
   }
   return report.all_ok() ? 0 : 1;
+}
+
+int cmd_cache(const std::vector<std::string>& args) {
+  if (args.size() < 4) return usage();
+  const std::string& action = args[2];
+  const std::string& dir = args[3];
+  if (action == "list") {
+    const auto entries = reseed::MatrixCache::list_dir(dir);
+    std::uintmax_t total = 0;
+    for (const auto& e : entries) {
+      std::cout << reseed::MatrixCache::key_hex(e.key) << "  " << e.bytes
+                << " bytes\n";
+      total += e.bytes;
+    }
+    std::cout << entries.size() << " entries, " << total << " bytes in " << dir
+              << "\n";
+    return 0;
+  }
+  if (action == "clear") {
+    std::cout << "evicted " << reseed::MatrixCache::clear_dir(dir)
+              << " entries from " << dir << "\n";
+    return 0;
+  }
+  if (action == "evict") {
+    if (args.size() < 5) return usage();
+    const std::string& hex = args[4];
+    if (hex.size() != 16 ||
+        hex.find_first_not_of("0123456789abcdef") != std::string::npos) {
+      throw std::runtime_error("cache evict: key must be 16 lowercase hex digits");
+    }
+    const auto key = static_cast<reseed::MatrixCache::Key>(
+        std::stoull(hex, nullptr, 16));
+    if (!reseed::MatrixCache::evict_file(dir, key)) {
+      throw std::runtime_error("cache evict: no entry " + hex + " in " + dir);
+    }
+    std::cout << "evicted " << hex << " from " << dir << "\n";
+    return 0;
+  }
+  return usage();
 }
 
 int cmd_gen(const std::vector<std::string>& args) {
@@ -353,6 +411,7 @@ int main(int argc, char** argv) {
     if (cmd == "list") return cmd_list();
     if (cmd == "gen") return cmd_gen(args);
     if (cmd == "campaign") return cmd_campaign(args);
+    if (cmd == "cache") return cmd_cache(args);
     if (args.size() < 3) return usage();
     const std::string& circuit = args[2];
     if (cmd == "info") return cmd_info(circuit);
