@@ -1,0 +1,403 @@
+#include "campaign/checkpoint.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "reseed/serialize.h"
+
+namespace fbist::campaign {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// FNV-1a 64-bit accumulator (the matrix cache's framing discipline:
+/// every variable-length field is preceded by its length, so moving a
+/// byte between adjacent fields changes the hash).
+struct Hasher {
+  std::uint64_t h = 1469598103934665603ull;
+
+  void byte(std::uint8_t b) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) byte(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void str(const std::string& s) {
+    u64(s.size());
+    for (const char c : s) byte(static_cast<std::uint8_t>(c));
+  }
+};
+
+constexpr const char* kSuffix = ".ckpt";
+
+/// Rest-of-line field: everything after "<key> " (may be empty).  Used
+/// for circuit names (paths may contain spaces) and error messages.
+std::string rest_of_line(const std::string& line, const std::string& key) {
+  if (line.size() <= key.size() + 1) return std::string();
+  return line.substr(key.size() + 1);
+}
+
+/// Error messages are one rest-of-line field; fold any embedded
+/// newline (exception text is free-form) into a space on write.
+std::string one_line(std::string s) {
+  for (char& c : s) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return s;
+}
+
+}  // namespace
+
+std::uint64_t spec_hash(const CampaignSpec& spec) {
+  Hasher hs;
+  const std::vector<RunSpec> runs = spec.expand();
+  hs.u64(runs.size());
+  for (const RunSpec& rs : runs) {
+    hs.str(rs.circuit);
+    hs.str(tpg::tpg_kind_name(rs.tpg));
+    hs.u64(rs.cycles);
+    hs.str(solver_name(rs.solver));
+  }
+  return hs.h;
+}
+
+std::string spec_hash_hex(std::uint64_t h) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(h));
+  return std::string(buf);
+}
+
+void write_checkpoint(const CheckpointRecord& rec, std::ostream& out) {
+  const RunResult& r = rec.result;
+  out << "fbist-ckpt v1\n";
+  out << "spec " << spec_hash_hex(rec.spec) << "\n";
+  out << "run " << rec.position << " " << rec.total_runs << "\n";
+  out << "circuit " << one_line(r.spec.circuit) << "\n";
+  out << "tpg " << tpg::tpg_kind_name(r.spec.tpg) << "\n";
+  out << "cycles " << r.spec.cycles << "\n";
+  out << "solver " << solver_name(r.spec.solver) << "\n";
+  out << "ok " << (r.ok ? 1 : 0) << "\n";
+  if (!r.ok) {
+    out << "error " << one_line(r.error) << "\n";
+  } else {
+    out << "counts " << r.circuit_inputs << " " << r.circuit_gates << " "
+        << r.atpg_patterns << " " << r.faults_targeted << " " << r.num_triplets
+        << " " << r.test_length << " " << r.faults_covered << " "
+        << r.faults_uncoverable << " " << r.necessary_triplets << " "
+        << r.solver_triplets << " " << (r.solver_optimal ? 1 : 0) << " "
+        << r.rom_bits << "\n";
+  }
+  char ms[32];
+  std::snprintf(ms, sizeof ms, "%.6f", r.wall_ms);
+  out << "wall_ms " << ms << "\n";
+}
+
+CheckpointRecord read_checkpoint(std::istream& in) {
+  CheckpointRecord rec;
+  std::string line;
+  std::size_t line_no = 0;
+  bool header_seen = false;
+  bool spec_seen = false, run_seen = false, circuit_seen = false;
+  bool tpg_seen = false, cycles_seen = false, solver_seen = false;
+  int ok = -1;
+  bool counts_seen = false, error_seen = false;
+
+  auto fail = [&](const std::string& msg) -> void {
+    throw std::runtime_error("ckpt line " + std::to_string(line_no) + ": " +
+                             msg);
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::string key;
+    ss >> key;
+    if (!header_seen) {
+      std::string version;
+      ss >> version;
+      try {
+        reseed::check_version_header(key, version, "fbist-ckpt", "v1");
+      } catch (const std::runtime_error& e) {
+        fail(e.what());
+      }
+      header_seen = true;
+      continue;
+    }
+    if (key == "spec") {
+      std::string hex;
+      ss >> hex;
+      if (hex.size() != 16 ||
+          hex.find_first_not_of("0123456789abcdef") != std::string::npos) {
+        fail("bad spec hash");
+      }
+      rec.spec = std::stoull(hex, nullptr, 16);
+      spec_seen = true;
+    } else if (key == "run") {
+      ss >> rec.position >> rec.total_runs;
+      if (ss.fail() || rec.total_runs == 0 || rec.position >= rec.total_runs) {
+        fail("bad run position");
+      }
+      run_seen = true;
+    } else if (key == "circuit") {
+      rec.result.spec.circuit = rest_of_line(line, key);
+      if (rec.result.spec.circuit.empty()) fail("empty circuit");
+      circuit_seen = true;
+    } else if (key == "tpg") {
+      std::string name;
+      ss >> name;
+      try {
+        rec.result.spec.tpg = parse_tpg_kind(name);
+      } catch (const std::runtime_error& e) {
+        fail(e.what());
+      }
+      tpg_seen = true;
+    } else if (key == "cycles") {
+      ss >> rec.result.spec.cycles;
+      if (ss.fail() || rec.result.spec.cycles == 0) fail("bad cycles");
+      cycles_seen = true;
+    } else if (key == "solver") {
+      std::string name;
+      ss >> name;
+      try {
+        rec.result.spec.solver = parse_solver(name);
+      } catch (const std::runtime_error& e) {
+        fail(e.what());
+      }
+      solver_seen = true;
+    } else if (key == "ok") {
+      ss >> ok;
+      if (ss.fail() || (ok != 0 && ok != 1)) fail("bad ok flag");
+      rec.result.ok = ok == 1;
+    } else if (key == "error") {
+      if (ok != 0) fail("error record without ok 0");
+      rec.result.error = rest_of_line(line, key);
+      error_seen = true;
+    } else if (key == "counts") {
+      if (ok != 1) fail("counts record without ok 1");
+      RunResult& r = rec.result;
+      int optimal = 0;
+      ss >> r.circuit_inputs >> r.circuit_gates >> r.atpg_patterns >>
+          r.faults_targeted >> r.num_triplets >> r.test_length >>
+          r.faults_covered >> r.faults_uncoverable >> r.necessary_triplets >>
+          r.solver_triplets >> optimal >> r.rom_bits;
+      if (ss.fail() || (optimal != 0 && optimal != 1)) fail("bad counts");
+      r.solver_optimal = optimal == 1;
+      counts_seen = true;
+    } else if (key == "wall_ms") {
+      ss >> rec.result.wall_ms;
+      if (ss.fail() || rec.result.wall_ms < 0) fail("bad wall_ms");
+    } else {
+      fail("unknown record '" + key + "'");
+    }
+  }
+  if (!header_seen) throw std::runtime_error("ckpt: empty input");
+  if (!spec_seen || !run_seen) {
+    throw std::runtime_error("ckpt: incomplete header (spec/run)");
+  }
+  if (!circuit_seen || !tpg_seen || !cycles_seen || !solver_seen || ok == -1) {
+    throw std::runtime_error(
+        "ckpt: incomplete run identity (circuit/tpg/cycles/solver/ok)");
+  }
+  if (rec.result.ok && !counts_seen) {
+    throw std::runtime_error("ckpt: ok run without counts record");
+  }
+  if (!rec.result.ok && !error_seen) {
+    throw std::runtime_error("ckpt: failed run without error record");
+  }
+  return rec;
+}
+
+std::string checkpoint_to_string(const CheckpointRecord& rec) {
+  std::ostringstream ss;
+  write_checkpoint(rec, ss);
+  return ss.str();
+}
+
+CheckpointRecord checkpoint_from_string(const std::string& text) {
+  std::istringstream ss(text);
+  return read_checkpoint(ss);
+}
+
+CheckpointStore::CheckpointStore(std::string dir, const CampaignSpec& spec)
+    : dir_(std::move(dir)), hash_(spec_hash(spec)), runs_(spec.expand()) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (!fs::is_directory(dir_, ec)) {
+    throw std::runtime_error("checkpoint: cannot create directory " + dir_);
+  }
+}
+
+std::string CheckpointStore::blob_path(std::size_t pos) const {
+  char name[32];
+  std::snprintf(name, sizeof name, "run-%06zu%s", pos, kSuffix);
+  return (fs::path(dir_) / name).string();
+}
+
+void CheckpointStore::write(std::size_t pos, const RunResult& result) {
+  if (pos >= runs_.size()) {
+    throw std::runtime_error("checkpoint: position " + std::to_string(pos) +
+                             " out of range (spec has " +
+                             std::to_string(runs_.size()) + " runs)");
+  }
+  CheckpointRecord rec;
+  rec.spec = hash_;
+  rec.position = pos;
+  rec.total_runs = runs_.size();
+  rec.result = result;
+
+  // Temp-then-rename: a crash mid-write leaves only a .tmp file behind
+  // (ignored by load), never a torn .ckpt blob; the pid qualifier keeps
+  // shard processes sharing one directory off each other's temps.
+  const std::string final_path = blob_path(pos);
+  const std::string tmp_path =
+      final_path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp_path);
+    if (!out) {
+      throw std::runtime_error("checkpoint: cannot write " + tmp_path);
+    }
+    write_checkpoint(rec, out);
+    out.flush();
+    if (!out) {
+      std::error_code ec;
+      fs::remove(tmp_path, ec);
+      throw std::runtime_error("checkpoint: short write to " + tmp_path);
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    fs::remove(tmp_path, ec);
+    throw std::runtime_error("checkpoint: cannot rename into " + final_path);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++written_;
+}
+
+std::unordered_map<std::size_t, RunResult> CheckpointStore::load() {
+  std::unordered_map<std::size_t, RunResult> out;
+  std::error_code ec;
+  fs::directory_iterator it(dir_, ec);
+  if (ec) return out;
+  for (const fs::directory_entry& de : it) {
+    const fs::path& p = de.path();
+    if (p.extension() != kSuffix) continue;
+    CheckpointRecord rec;
+    try {
+      std::ifstream in(p.string());
+      if (!in) throw std::runtime_error("cannot open");
+      rec = read_checkpoint(in);
+    } catch (const std::runtime_error& e) {
+      // Torn or unreadable blob: its run re-executes and the rewrite
+      // replaces the file.  Loud but non-fatal.
+      std::fprintf(stderr,
+                   "fbist: checkpoint %s: %s — ignoring, run will be "
+                   "re-executed\n",
+                   p.string().c_str(), e.what());
+      std::lock_guard<std::mutex> lock(mu_);
+      ++corrupt_;
+      continue;
+    }
+    // A well-formed blob from a *different* spec is not recoverable-by
+    // -rebuild: the whole directory belongs to another sweep, and
+    // silently mixing its results into this report would corrupt it.
+    if (rec.spec != hash_) {
+      throw std::runtime_error(
+          "checkpoint " + p.string() + ": spec hash " +
+          spec_hash_hex(rec.spec) + " does not match this campaign (" +
+          spec_hash_hex(hash_) +
+          "); the directory holds a different sweep — use a fresh "
+          "--checkpoint directory or delete the stale blobs");
+    }
+    if (rec.total_runs != runs_.size() || rec.position >= runs_.size()) {
+      throw std::runtime_error("checkpoint " + p.string() +
+                               ": run position " +
+                               std::to_string(rec.position) + "/" +
+                               std::to_string(rec.total_runs) +
+                               " does not fit this campaign's " +
+                               std::to_string(runs_.size()) + " runs");
+    }
+    const RunSpec& want = runs_[rec.position];
+    const RunSpec& got = rec.result.spec;
+    if (got.circuit != want.circuit || got.tpg != want.tpg ||
+        got.cycles != want.cycles || got.solver != want.solver) {
+      throw std::runtime_error("checkpoint " + p.string() + ": run '" +
+                               run_label(got) + "' at position " +
+                               std::to_string(rec.position) +
+                               " does not match the spec's '" +
+                               run_label(want) + "'");
+    }
+    out.emplace(rec.position, std::move(rec.result));
+  }
+  return out;
+}
+
+std::uint64_t CheckpointStore::written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return written_;
+}
+
+std::uint64_t CheckpointStore::corrupt() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return corrupt_;
+}
+
+Report merge_checkpoints(const CampaignSpec& spec,
+                         const std::vector<std::string>& dirs) {
+  spec.validate();
+  if (dirs.empty()) {
+    throw std::runtime_error("merge: no checkpoint directories given");
+  }
+  const std::vector<RunSpec> runs = spec.expand();
+
+  Report report;
+  report.runs.resize(runs.size());
+  std::vector<bool> have(runs.size(), false);
+  std::uint64_t corrupt = 0;
+  for (const std::string& dir : dirs) {
+    CheckpointStore store(dir, spec);
+    std::unordered_map<std::size_t, RunResult> got = store.load();
+    corrupt += store.corrupt();
+    for (auto& [pos, result] : got) {
+      // Shards may overlap (a re-run shard, a shared directory given
+      // twice); blob content is deterministic, so the first valid one
+      // wins.
+      if (have[pos]) continue;
+      report.runs[pos] = std::move(result);
+      have[pos] = true;
+    }
+  }
+
+  std::size_t missing = 0;
+  std::string first_missing;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (have[i]) continue;
+    ++missing;
+    if (first_missing.empty()) {
+      first_missing = run_label(runs[i]) + " (position " + std::to_string(i) +
+                      ")";
+    }
+  }
+  if (missing != 0) {
+    throw std::runtime_error(
+        "merge: " + std::to_string(missing) + " of " +
+        std::to_string(runs.size()) + " runs have no checkpoint (first: " +
+        first_missing + "); run the missing shard(s) before merging");
+  }
+
+  report.checkpoint.enabled = true;
+  report.checkpoint.resumed = runs.size();
+  report.checkpoint.corrupt = corrupt;
+  return report;
+}
+
+}  // namespace fbist::campaign

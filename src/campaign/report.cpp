@@ -116,6 +116,25 @@ std::string Report::to_json(bool include_timing) const {
       w.value(cache.evictions);
       w.end_object();
     }
+    if (checkpoint.enabled) {
+      w.key("checkpoint");
+      w.begin_object();
+      w.key("resumed");
+      w.value(checkpoint.resumed);
+      w.key("executed");
+      w.value(checkpoint.executed);
+      w.key("written");
+      w.value(checkpoint.written);
+      w.key("corrupt");
+      w.value(checkpoint.corrupt);
+      w.end_object();
+    }
+    if (shard_count > 1) {
+      w.key("shard_index");
+      w.value(static_cast<std::uint64_t>(shard_index));
+      w.key("shard_count");
+      w.value(static_cast<std::uint64_t>(shard_count));
+    }
     w.end_object();
   }
   w.end_object();

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -73,6 +74,24 @@ struct Report {
     std::uint64_t evictions = 0;
   };
   CacheStats cache;
+
+  /// Checkpoint counters (campaign/checkpoint.h, installed via
+  /// CampaignOptions::checkpoint_dir).  Execution metadata like the
+  /// cache stats: a resumed report's canonical JSON is byte-identical
+  /// to an uninterrupted run's.
+  struct CheckpointStats {
+    bool enabled = false;
+    std::uint64_t resumed = 0;   // runs loaded from blobs, not executed
+    std::uint64_t executed = 0;  // runs executed by this process
+    std::uint64_t written = 0;   // blobs written by this process
+    std::uint64_t corrupt = 0;   // unreadable blobs skipped (re-executed)
+  };
+  CheckpointStats checkpoint;
+
+  /// The shard of the canonical run order this report covers
+  /// (execution metadata; 0 of 1 = the whole sweep).
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
 
   std::size_t num_ok() const;
   std::size_t num_failed() const { return runs.size() - num_ok(); }

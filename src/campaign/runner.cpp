@@ -1,8 +1,11 @@
 #include "campaign/runner.h"
 
+#include <cstdio>
 #include <exception>
 #include <map>
+#include <unordered_map>
 
+#include "campaign/checkpoint.h"
 #include "reseed/matrix_cache.h"
 #include "reseed/serialize.h"
 #include "util/timer.h"
@@ -60,11 +63,29 @@ void execute_run(const CircuitCtx& ctx, RunResult& out) {
   out.wall_ms = timer.millis();
 }
 
+/// Persists a completed run's blob.  Checkpointing is durability, not
+/// correctness: an unwritable directory mid-sweep degrades resume, so
+/// it warns instead of failing the (already computed) run.
+void checkpoint_run(CheckpointStore& store, std::size_t pos,
+                    const RunResult& result) {
+  try {
+    store.write(pos, result);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fbist: %s (run %s continues un-checkpointed)\n",
+                 e.what(), run_label(result.spec).c_str());
+  }
+}
+
 }  // namespace
 
 Report run_campaign(const CampaignSpec& spec, const CampaignOptions& opts,
                     Scheduler* sched) {
   spec.validate();
+  // Canonical positions this process executes (throws on a bad shard).
+  const std::vector<std::size_t> positions =
+      spec.shard(opts.shard_index, opts.shard_count);
+  const std::vector<RunSpec> all_runs = spec.expand();
+
   Scheduler* s = sched;
   if (s == nullptr) {
     s = &Scheduler::global();
@@ -76,19 +97,45 @@ Report run_campaign(const CampaignSpec& spec, const CampaignOptions& opts,
   util::Timer timer;
   Report report;
   report.jobs = s->num_workers();
-  const std::vector<RunSpec> runs = spec.expand();
-  report.runs.resize(runs.size());
-  for (std::size_t i = 0; i < runs.size(); ++i) report.runs[i].spec = runs[i];
+  report.shard_index = opts.shard_index;
+  report.shard_count = opts.shard_count;
+  report.runs.resize(positions.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    report.runs[i].spec = all_runs[positions[i]];
+  }
 
-  // Distinct circuits, first-appearance order; duplicate names in the
-  // spec share one preparation.
+  // Resume: load valid blobs and fill their report slots up front, so
+  // only the remainder fans out.  load() throws on blobs from a
+  // different spec (see CheckpointStore) — before any work starts.
+  std::unique_ptr<CheckpointStore> store;
+  std::vector<bool> pending(positions.size(), true);
+  if (!opts.checkpoint_dir.empty()) {
+    store = std::make_unique<CheckpointStore>(opts.checkpoint_dir, spec);
+    std::unordered_map<std::size_t, RunResult> done = store->load();
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      const auto it = done.find(positions[i]);
+      if (it == done.end()) continue;
+      report.runs[i] = std::move(it->second);
+      pending[i] = false;
+      ++report.checkpoint.resumed;
+    }
+    report.checkpoint.enabled = true;
+    report.checkpoint.corrupt = store->corrupt();
+  }
+
+  // Distinct circuits over the *pending* runs, first-appearance order;
+  // duplicate names share one preparation, and a circuit whose runs
+  // are all checkpointed is never prepared at all.
   std::vector<CircuitCtx> circuits;
   {
     std::map<std::string, std::size_t> index;
-    for (std::size_t i = 0; i < runs.size(); ++i) {
-      auto [it, inserted] = index.emplace(runs[i].circuit, circuits.size());
-      if (inserted) circuits.push_back(CircuitCtx{runs[i].circuit, {}, {}, {}});
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      if (!pending[i]) continue;
+      const std::string& name = report.runs[i].spec.circuit;
+      auto [it, inserted] = index.emplace(name, circuits.size());
+      if (inserted) circuits.push_back(CircuitCtx{name, {}, {}, {}});
       circuits[it->second].run_ids.push_back(i);
+      ++report.checkpoint.executed;
     }
   }
 
@@ -102,10 +149,13 @@ Report run_campaign(const CampaignSpec& spec, const CampaignOptions& opts,
   // nested tasks (no barrier — fast circuits evaluate while slow ones
   // still run ATPG).  `group` outlives every nested submission because
   // wait() returns only when the count of *all* submitted tasks,
-  // including nested ones, reaches zero.
+  // including nested ones, reaches zero.  Each run's checkpoint blob is
+  // written by its own completing task — results land at disjoint
+  // report positions and disjoint files, so neither step takes a shared
+  // lock.
   TaskGroup group(*s);
   for (CircuitCtx& ctx : circuits) {
-    group.run([&group, &report, &ctx, &popts] {
+    group.run([&group, &report, &ctx, &popts, &store, &positions] {
       try {
         ctx.prepared = reseed::Pipeline::prepare(load_circuit(ctx.name),
                                                  ctx.name, popts);
@@ -115,11 +165,18 @@ Report run_campaign(const CampaignSpec& spec, const CampaignOptions& opts,
         ctx.error = "unknown error";
       }
       for (const std::size_t rid : ctx.run_ids) {
-        group.run([&ctx, &report, rid] { execute_run(ctx, report.runs[rid]); });
+        group.run([&ctx, &report, &store, &positions, rid] {
+          execute_run(ctx, report.runs[rid]);
+          if (store != nullptr) {
+            checkpoint_run(*store, positions[rid], report.runs[rid]);
+          }
+        });
       }
     });
   }
   group.wait();
+
+  if (store != nullptr) report.checkpoint.written = store->written();
 
   if (opts.matrix_cache != nullptr) {
     const reseed::MatrixCacheStats cs = opts.matrix_cache->stats();

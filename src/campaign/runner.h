@@ -44,6 +44,26 @@ struct CampaignOptions {
   /// fault simulation entirely.  The campaign's hit/miss/evict counters
   /// land in Report::cache.  Null disables caching.
   std::shared_ptr<reseed::MatrixCache> matrix_cache;
+
+  /// Checkpoint directory (campaign/checkpoint.h).  When non-empty,
+  /// every completed run is persisted as a versioned per-run blob
+  /// (written from the completing task itself, off any shared state),
+  /// and on startup valid blobs are loaded and their runs skipped —
+  /// circuits with no remaining runs are never prepared.  A killed
+  /// sweep resumes where it left off and its report stays
+  /// byte-identical to an uninterrupted run; merge_checkpoints folds
+  /// shard/checkpoint sets back into one report.  Counters land in
+  /// Report::checkpoint.
+  std::string checkpoint_dir;
+
+  /// Shard of the canonical run order to execute: shard_index of
+  /// shard_count contiguous balanced slices (CampaignSpec::shard).
+  /// The report then covers only this shard's runs, in canonical
+  /// order; the full report is reassembled from the shards' checkpoint
+  /// blobs by merge_checkpoints / `fbist merge`.  Defaults to the
+  /// whole sweep.
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
 };
 
 /// Executes the spec and returns the filled report.  Uses the global

@@ -30,6 +30,26 @@ std::vector<RunSpec> CampaignSpec::expand() const {
   return runs;
 }
 
+std::vector<std::size_t> CampaignSpec::shard(std::size_t index,
+                                             std::size_t count) const {
+  if (count == 0) {
+    throw std::invalid_argument("campaign shard: count must be >= 1");
+  }
+  if (index >= count) {
+    throw std::invalid_argument(
+        "campaign shard: index " + std::to_string(index) +
+        " out of range for " + std::to_string(count) + " shards");
+  }
+  const std::size_t total =
+      circuits.size() * tpgs.size() * cycle_values.size() * solvers.size();
+  const std::size_t begin = index * total / count;
+  const std::size_t end = (index + 1) * total / count;
+  std::vector<std::size_t> positions;
+  positions.reserve(end - begin);
+  for (std::size_t p = begin; p < end; ++p) positions.push_back(p);
+  return positions;
+}
+
 void CampaignSpec::validate() const {
   if (circuits.empty()) {
     throw std::invalid_argument("campaign spec: no circuits");

@@ -55,6 +55,15 @@ struct CampaignSpec {
   /// Cross product in canonical order.
   std::vector<RunSpec> expand() const;
 
+  /// Canonical run positions owned by shard `index` of `count`:
+  /// contiguous balanced slices [⌊i·R/n⌋, ⌊(i+1)·R/n⌋) of the expansion
+  /// order, so every position lands in exactly one shard and — the
+  /// order being circuit-major — a circuit's runs mostly stay on one
+  /// shard (each shard prepares only the circuits it touches).
+  /// Deterministic: the same (spec, i, n) always yields the same slice.
+  /// Throws std::invalid_argument when count == 0 or index >= count.
+  std::vector<std::size_t> shard(std::size_t index, std::size_t count) const;
+
   /// Throws std::invalid_argument on an empty or degenerate spec.
   void validate() const;
 };

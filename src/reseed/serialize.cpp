@@ -7,14 +7,8 @@
 
 namespace fbist::reseed {
 
-namespace {
-
-/// Validates a "<magic> <version>" header line, distinguishing "not one
-/// of our files at all" from "ours, but a version this build does not
-/// read" — the latter is what a stale cache file looks like after a
-/// format bump, and it must fail with a message naming both versions.
-void check_header(const std::string& key, const std::string& version,
-                  const char* magic, const char* want_version) {
+void check_version_header(const std::string& key, const std::string& version,
+                          const char* magic, const char* want_version) {
   if (key != magic) {
     throw std::runtime_error(std::string(magic) + ": expected '" + magic + " " +
                              want_version + "' header, found '" + key + "'");
@@ -25,8 +19,6 @@ void check_header(const std::string& key, const std::string& version,
                              "'); rebuild or evict the blob");
   }
 }
-
-}  // namespace
 
 std::size_t RomImage::test_length() const {
   std::size_t n = 0;
@@ -97,7 +89,7 @@ RomImage read_rom(std::istream& in) {
       std::string version;
       ss >> version;
       try {
-        check_header(key, version, "fbist-rom", "v1");
+        check_version_header(key, version, "fbist-rom", "v1");
       } catch (const std::runtime_error& e) {
         fail(e.what());
       }
@@ -221,7 +213,7 @@ cover::DetectionMatrix read_matrix(std::istream& in) {
       std::string version;
       ss >> version;
       try {
-        check_header(key, version, "fbist-dmx", "v1");
+        check_version_header(key, version, "fbist-dmx", "v1");
       } catch (const std::runtime_error& e) {
         fail(e.what());
       }

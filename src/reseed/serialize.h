@@ -40,6 +40,15 @@
 
 namespace fbist::reseed {
 
+/// Validates a "<magic> <version>" header line, distinguishing "not one
+/// of our files at all" from "ours, but a version this build does not
+/// read" — the latter is what a stale on-disk blob looks like after a
+/// format bump, and it must fail with a message naming both versions.
+/// Shared by every versioned text format in the repo (fbist-rom,
+/// fbist-dmx, and the campaign layer's fbist-ckpt run-result records).
+void check_version_header(const std::string& key, const std::string& version,
+                          const char* magic, const char* want_version);
+
 /// Everything needed to replay a reseeding solution on hardware.
 struct RomImage {
   std::string circuit;

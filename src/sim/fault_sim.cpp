@@ -192,7 +192,13 @@ struct GoodV {
 // 512-bit instructions — which is where the N-blocks-per-walk layout
 // pays off.  The default clone keeps the binary portable; which width
 // actually runs is decided per campaign by util::chunk_width_for.
-#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+// ThreadSanitizer cannot run the ifunc resolvers target_clones emits
+// (they execute before the TSan runtime initializes and crash at
+// startup), so TSan builds keep only the portable clone — the tiers
+// are bit-identical (SimdDispatch tests), so races are equally
+// observable there.
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
+    !defined(__SANITIZE_THREAD__)
 #define FBIST_TARGET_CLONES __attribute__((target_clones("avx2", "default")))
 #define FBIST_TARGET_CLONES_512 \
   __attribute__((target_clones("avx512f", "avx2", "default")))

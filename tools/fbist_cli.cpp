@@ -24,9 +24,26 @@
 //                            share (circuit, TPG, T, seed) build their
 //                            matrix once, repeated campaigns reuse the
 //                            on-disk matrices instead of re-simulating
+//       --checkpoint DIR     persist each completed run as a versioned
+//                            blob in DIR and, on startup, skip runs that
+//                            already have one — a killed sweep resumes
+//                            where it left off (blobs from a different
+//                            spec are rejected; corrupt blobs are
+//                            ignored and re-executed)
+//       --shard I/N          execute only the I-th of N deterministic
+//                            contiguous slices of the canonical run
+//                            order (1-based); shards run on different
+//                            processes/hosts and are folded by `merge`
 //     Flags extend/override the spec file; each circuit is compiled and
-//     ATPG-prepared once and shared by all of its runs.  The report is
-//     bit-identical for any --jobs value, cached or not.
+//     ATPG-prepared once and shared by all of its runs.  Determinism
+//     contract: the report is bit-identical for any --jobs value,
+//     cached or not, resumed or not — and a report merged from shard
+//     checkpoints is byte-identical to an uninterrupted single-process
+//     run of the same spec.
+//   merge <spec> --checkpoint DIR...         fold shard/checkpoint sets
+//                                            into the complete report
+//                                            (every run must have a blob
+//                                            in some DIR; overlap is ok)
 //   cache list|clear <dir>                   inspect / empty a cache dir
 //   cache evict <dir> <key>                  drop one entry (16-hex key)
 //   gen <pi> <po> <gates> <seed>             emit a synthetic .bench to stdout
@@ -42,6 +59,7 @@
 #include <vector>
 
 #include "atpg/scoap.h"
+#include "campaign/checkpoint.h"
 #include "campaign/runner.h"
 #include "circuits/generator.h"
 #include "circuits/registry.h"
@@ -72,7 +90,9 @@ int usage() {
       "  solve <instance.scp> [--solver exact|greedy]\n"
       "  campaign [spec.txt] [--circuits a,b,c] [--tpgs k1,k2] [--cycles n1,n2]\n"
       "           [--solvers exact|greedy] [--jobs N] [--json FILE] [--timings]\n"
-      "           [--cache DIR]\n"
+      "           [--cache DIR] [--checkpoint DIR] [--shard I/N]\n"
+      "  merge <spec.txt | --circuits ...> --checkpoint DIR [--checkpoint DIR2 ...]\n"
+      "        [--json FILE] [--timings]\n"
       "  cache list <dir> | clear <dir> | evict <dir> <key>\n"
       "  gen <pi> <po> <gates> <seed>\n"
       "  list\n"
@@ -273,22 +293,29 @@ std::vector<std::string> split_commas(const std::string& arg) {
   return out;
 }
 
-int cmd_campaign(const std::vector<std::string>& args) {
+/// Everything the campaign-family subcommands (`campaign`, `merge`)
+/// parse from the command line.
+struct CampaignArgs {
+  campaign::CampaignSpec spec;
+  campaign::CampaignOptions copts;
+  std::string json_path;
+  bool timings = false;
+  std::vector<std::string> checkpoint_dirs;  // repeatable for `merge`
+};
+
+CampaignArgs parse_campaign_args(const std::vector<std::string>& args) {
+  CampaignArgs out;
   // Pass 1: a positional spec file (if any) provides the base spec;
   // --flags then extend the circuit list and override the other lists
   // regardless of argument order.
-  campaign::CampaignSpec spec;
   for (std::size_t i = 2; i < args.size(); ++i) {
     if (args[i].rfind("--", 0) == 0) {
       if (args[i] != "--timings") ++i;  // skip the flag's value
       continue;
     }
-    spec = campaign::parse_spec_file(args[i]);
+    out.spec = campaign::parse_spec_file(args[i]);
   }
 
-  campaign::CampaignOptions copts;
-  std::string json_path;
-  bool timings = false;
   for (std::size_t i = 2; i < args.size(); ++i) {
     auto need_value = [&](const char* flag) -> const std::string& {
       if (i + 1 >= args.size()) {
@@ -298,47 +325,86 @@ int cmd_campaign(const std::vector<std::string>& args) {
     };
     if (args[i] == "--circuits") {
       for (auto& c : split_commas(need_value("--circuits"))) {
-        spec.circuits.push_back(c);
+        out.spec.circuits.push_back(c);
       }
     } else if (args[i] == "--tpgs") {
-      spec.tpgs.clear();
+      out.spec.tpgs.clear();
       for (auto& t : split_commas(need_value("--tpgs"))) {
-        spec.tpgs.push_back(campaign::parse_tpg_kind(t));
+        out.spec.tpgs.push_back(campaign::parse_tpg_kind(t));
       }
     } else if (args[i] == "--cycles") {
-      spec.cycle_values.clear();
+      out.spec.cycle_values.clear();
       for (auto& c : split_commas(need_value("--cycles"))) {
-        spec.cycle_values.push_back(parse_count(c, "--cycles"));
+        out.spec.cycle_values.push_back(parse_count(c, "--cycles"));
       }
     } else if (args[i] == "--solvers" || args[i] == "--solver") {
-      spec.solvers.clear();
+      out.spec.solvers.clear();
       for (auto& s : split_commas(need_value("--solvers"))) {
-        spec.solvers.push_back(campaign::parse_solver(s));
+        out.spec.solvers.push_back(campaign::parse_solver(s));
       }
     } else if (args[i] == "--jobs") {
-      copts.jobs = parse_count(need_value("--jobs"), "--jobs");
-      if (copts.jobs > 256) {
+      out.copts.jobs = parse_count(need_value("--jobs"), "--jobs");
+      if (out.copts.jobs > 256) {
         throw std::runtime_error("--jobs: more than 256 workers requested");
       }
     } else if (args[i] == "--json") {
-      json_path = need_value("--json");
+      out.json_path = need_value("--json");
     } else if (args[i] == "--timings") {
-      timings = true;
+      out.timings = true;
     } else if (args[i] == "--cache") {
       reseed::MatrixCacheOptions mopts;
       mopts.dir = need_value("--cache");
-      copts.matrix_cache = std::make_shared<reseed::MatrixCache>(mopts);
+      out.copts.matrix_cache = std::make_shared<reseed::MatrixCache>(mopts);
+    } else if (args[i] == "--checkpoint") {
+      out.checkpoint_dirs.push_back(need_value("--checkpoint"));
+    } else if (args[i] == "--shard") {
+      // "I/N", 1-based: --shard 2/3 executes the second of three
+      // deterministic contiguous slices of the canonical run order.
+      const std::string v = need_value("--shard");
+      const auto slash = v.find('/');
+      if (slash == std::string::npos) {
+        throw std::runtime_error("--shard: expected I/N, e.g. --shard 1/3");
+      }
+      const std::size_t index = parse_count(v.substr(0, slash), "--shard");
+      const std::size_t count = parse_count(v.substr(slash + 1), "--shard");
+      if (index > count) {
+        throw std::runtime_error("--shard: index " + std::to_string(index) +
+                                 " out of range (shards are 1/" +
+                                 std::to_string(count) + " .. " +
+                                 std::to_string(count) + "/" +
+                                 std::to_string(count) + ")");
+      }
+      out.copts.shard_index = index - 1;
+      out.copts.shard_count = count;
     } else if (args[i].rfind("--", 0) == 0) {
       throw std::runtime_error("unknown flag: " + args[i]);
     }
   }
-  const campaign::Report report = campaign::run_campaign(spec, copts);
+  return out;
+}
+
+void print_report(const campaign::Report& report, const std::string& json_path,
+                  bool timings) {
   std::cout << report.summary();
   if (report.cache.enabled) {
     std::cout << "matrix cache: " << report.cache.hits << " hits ("
               << report.cache.disk_hits << " from disk), "
               << report.cache.misses << " misses, " << report.cache.stores
               << " stored, " << report.cache.evictions << " evicted\n";
+  }
+  if (report.checkpoint.enabled) {
+    std::cout << "checkpoints: " << report.checkpoint.resumed << " resumed, "
+              << report.checkpoint.executed << " executed, "
+              << report.checkpoint.written << " written";
+    if (report.checkpoint.corrupt != 0) {
+      std::cout << " (" << report.checkpoint.corrupt << " corrupt ignored)";
+    }
+    std::cout << "\n";
+  }
+  if (report.shard_count > 1) {
+    std::cout << "shard " << report.shard_index + 1 << "/"
+              << report.shard_count << ": " << report.runs.size()
+              << " of the sweep's runs\n";
   }
   if (!json_path.empty()) {
     std::ofstream out(json_path);
@@ -347,6 +413,40 @@ int cmd_campaign(const std::vector<std::string>& args) {
     std::cout << "campaign report written to " << json_path << " ("
               << report.runs.size() << " runs)\n";
   }
+}
+
+int cmd_campaign(const std::vector<std::string>& args) {
+  CampaignArgs a = parse_campaign_args(args);
+  if (a.checkpoint_dirs.size() > 1) {
+    throw std::runtime_error(
+        "campaign: one --checkpoint directory per process (merge folds "
+        "several)");
+  }
+  if (!a.checkpoint_dirs.empty()) {
+    a.copts.checkpoint_dir = a.checkpoint_dirs.front();
+  }
+  const campaign::Report report = campaign::run_campaign(a.spec, a.copts);
+  print_report(report, a.json_path, a.timings);
+  return report.all_ok() ? 0 : 1;
+}
+
+int cmd_merge(const std::vector<std::string>& args) {
+  const CampaignArgs a = parse_campaign_args(args);
+  if (a.checkpoint_dirs.empty()) {
+    throw std::runtime_error(
+        "merge: at least one --checkpoint DIR is required");
+  }
+  if (a.copts.jobs != 0 || a.copts.shard_count != 1 ||
+      a.copts.matrix_cache != nullptr) {
+    throw std::runtime_error(
+        "merge folds existing checkpoints; --jobs/--shard/--cache do not "
+        "apply");
+  }
+  // Determinism contract: the merged report is byte-identical to an
+  // uninterrupted single-process run of the same spec.
+  const campaign::Report report =
+      campaign::merge_checkpoints(a.spec, a.checkpoint_dirs);
+  print_report(report, a.json_path, a.timings);
   return report.all_ok() ? 0 : 1;
 }
 
@@ -411,6 +511,7 @@ int main(int argc, char** argv) {
     if (cmd == "list") return cmd_list();
     if (cmd == "gen") return cmd_gen(args);
     if (cmd == "campaign") return cmd_campaign(args);
+    if (cmd == "merge") return cmd_merge(args);
     if (cmd == "cache") return cmd_cache(args);
     if (args.size() < 3) return usage();
     const std::string& circuit = args[2];
