@@ -16,6 +16,8 @@
 #include "bist/misr.h"
 #include "campaign/runner.h"
 #include "circuits/registry.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "reseed/initial_builder.h"
 #include "tpg/accumulator.h"
 #include "tpg/triplet.h"
@@ -317,6 +319,45 @@ BENCHMARK(BM_InitialMatrixBuildPerRow)
     ->Arg(32)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+// ---- Observability overhead ----------------------------------------------
+//
+// BM_ObsOverhead is the instrumented-vs-compiled-out guard: the same
+// packed matrix build as BM_InitialMatrixBuild (T=8), under whatever
+// FBIST_OBSERVABILITY the binary was built with and tracing disabled
+// (the production shape — counters live, spans idle).  The baseline row
+// is recorded from an FBIST_OBSERVABILITY=OFF build, so CI's comparison
+// of an ON build against it measures the full instrumentation cost;
+// tools/bench_compare flags a >20% regression, the target is <2%.
+// BM_ObsCounterAdd / BM_ObsSpanIdle price the primitives themselves.
+void BM_ObsOverhead(benchmark::State& state) {
+  state.range(0);  // keep the Arg-shaped row name stable
+  run_matrix_build_bench(state, /*batched=*/true);
+}
+BENCHMARK(BM_ObsOverhead)->Arg(8)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_ObsCounterAdd(benchmark::State& state) {
+#if FBIST_OBSERVABILITY
+  OBS_COUNTER(c, "bench.counter");
+  for (auto _ : state) {
+    OBS_COUNT(c, 1);
+  }
+#else
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(state.iterations());
+  }
+#endif
+}
+BENCHMARK(BM_ObsCounterAdd);
+
+void BM_ObsSpanIdle(benchmark::State& state) {
+  obs::Tracer::global().disable();
+  for (auto _ : state) {
+    OBS_SPAN("bench_idle");
+    benchmark::DoNotOptimize(state.iterations());
+  }
+}
+BENCHMARK(BM_ObsSpanIdle);
 
 // ---- SIMD dispatch tiers -------------------------------------------------
 //

@@ -9,7 +9,11 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/diag.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "reseed/serialize.h"
+#include "util/timer.h"
 
 namespace fbist::campaign {
 
@@ -243,6 +247,9 @@ std::string CheckpointStore::blob_path(std::size_t pos) const {
 }
 
 void CheckpointStore::write(std::size_t pos, const RunResult& result) {
+  OBS_HISTOGRAM(h_write, "checkpoint.write_ns");
+  OBS_COUNTER(c_bytes, "checkpoint.bytes");
+  util::Timer timer;
   if (pos >= runs_.size()) {
     throw std::runtime_error("checkpoint: position " + std::to_string(pos) +
                              " out of range (spec has " +
@@ -272,6 +279,10 @@ void CheckpointStore::write(std::size_t pos, const RunResult& result) {
       fs::remove(tmp_path, ec);
       throw std::runtime_error("checkpoint: short write to " + tmp_path);
     }
+#if FBIST_OBSERVABILITY
+    const auto end = out.tellp();
+    if (end > 0) OBS_COUNT(c_bytes, static_cast<std::uint64_t>(end));
+#endif
   }
   std::error_code ec;
   fs::rename(tmp_path, final_path, ec);
@@ -279,6 +290,8 @@ void CheckpointStore::write(std::size_t pos, const RunResult& result) {
     fs::remove(tmp_path, ec);
     throw std::runtime_error("checkpoint: cannot rename into " + final_path);
   }
+  OBS_OBSERVE(h_write, timer.nanos());
+  OBS_INSTANT("checkpoint_write");
   std::lock_guard<std::mutex> lock(mu_);
   ++written_;
 }
@@ -299,10 +312,9 @@ std::unordered_map<std::size_t, RunResult> CheckpointStore::load() {
     } catch (const std::runtime_error& e) {
       // Torn or unreadable blob: its run re-executes and the rewrite
       // replaces the file.  Loud but non-fatal.
-      std::fprintf(stderr,
-                   "fbist: checkpoint %s: %s — ignoring, run will be "
-                   "re-executed\n",
-                   p.string().c_str(), e.what());
+      obs::diag(obs::Severity::kWarn, "checkpoint",
+                p.string() + ": " + e.what() +
+                    " — ignoring, run will be re-executed");
       std::lock_guard<std::mutex> lock(mu_);
       ++corrupt_;
       continue;

@@ -1,58 +1,11 @@
-// Minimal deterministic JSON emitter for campaign reports.
-//
-// The library vendors nothing, so the campaign JSON artifact is built
-// with a small streaming writer: explicit begin/end calls, automatic
-// comma placement, two-space pretty printing, RFC 8259 string escaping.
-// Numbers are emitted from integers or via fixed-precision formatting
-// only — no locale- or platform-dependent shortest-round-trip floats —
-// so a report serializes byte-identically across runs and worker
-// counts (the determinism contract tests/campaign/campaign_test.cpp
-// pins).
+// Compatibility alias: the deterministic JsonWriter began life here and
+// moved down to util/json.h when the observability layer needed it
+// below the campaign layer.  Campaign code keeps its historical
+// spelling through this alias.
 #pragma once
 
-#include <cstdint>
-#include <string>
-#include <vector>
+#include "util/json.h"
 
 namespace fbist::campaign {
-
-class JsonWriter {
- public:
-  void begin_object();
-  void end_object();
-  void begin_array();
-  void end_array();
-
-  /// Emits the key of the next value inside an object.
-  void key(const std::string& k);
-
-  void value(const std::string& v);
-  void value(const char* v);
-  void value(std::uint64_t v);
-  void value(int v);
-  void value(bool v);
-  /// Fixed-precision decimal (deterministic across platforms).
-  void value_fixed(double v, int digits);
-  void null_value();
-
-  /// The document so far; complete once every container is closed.
-  const std::string& str() const { return out_; }
-
-  static std::string escape(const std::string& s);
-
- private:
-  void comma_for_value();
-  void newline_indent();
-
-  std::string out_;
-  // One frame per open container: whether it already holds an element
-  // (comma needed) and whether a key was just written (value follows
-  // inline instead of on a fresh indented line).
-  struct Frame {
-    bool has_element = false;
-  };
-  std::vector<Frame> stack_;
-  bool after_key_ = false;
-};
-
+using JsonWriter = util::JsonWriter;
 }  // namespace fbist::campaign

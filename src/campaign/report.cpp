@@ -135,6 +135,10 @@ std::string Report::to_json(bool include_timing) const {
       w.key("shard_count");
       w.value(static_cast<std::uint64_t>(shard_count));
     }
+    if (metrics_enabled) {
+      w.key("metrics");
+      obs::write_metrics_json(w, metrics);
+    }
     w.end_object();
   }
   w.end_object();

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "campaign/spec.h"
+#include "obs/metrics.h"
 
 namespace fbist::campaign {
 
@@ -92,6 +93,15 @@ struct Report {
   /// (execution metadata; 0 of 1 = the whole sweep).
   std::size_t shard_index = 0;
   std::size_t shard_count = 1;
+
+  /// Campaign-scoped delta of the process-wide metrics registry
+  /// (obs/metrics.h): scheduler steal/idle stats, cache latency
+  /// histograms, fault-sim tier counters, pipeline stage timings.
+  /// Execution metadata like the timings — serialized only in the
+  /// opt-in "execution" section, so canonical report bytes are
+  /// untouched by observability.
+  bool metrics_enabled = false;
+  obs::MetricsSnapshot metrics;
 
   std::size_t num_ok() const;
   std::size_t num_failed() const { return runs.size() - num_ok(); }

@@ -1,11 +1,14 @@
 #include "campaign/runner.h"
 
-#include <cstdio>
 #include <exception>
+#include <fstream>
 #include <map>
 #include <unordered_map>
 
 #include "campaign/checkpoint.h"
+#include "obs/diag.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "reseed/matrix_cache.h"
 #include "reseed/serialize.h"
 #include "util/timer.h"
@@ -24,6 +27,7 @@ struct CircuitCtx {
 };
 
 void execute_run(const CircuitCtx& ctx, RunResult& out) {
+  OBS_SPAN("run", run_label(out.spec));
   util::Timer timer;
   if (ctx.prepared == nullptr) {
     out.ok = false;
@@ -71,8 +75,23 @@ void checkpoint_run(CheckpointStore& store, std::size_t pos,
   try {
     store.write(pos, result);
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "fbist: %s (run %s continues un-checkpointed)\n",
-                 e.what(), run_label(result.spec).c_str());
+    obs::diag(obs::Severity::kWarn, "checkpoint",
+              std::string(e.what()) + " (run " + run_label(result.spec) +
+                  " continues un-checkpointed)");
+  }
+}
+
+/// Writes an observability artifact (trace / metrics JSON).  Like
+/// checkpointing, these are byproducts: an unwritable path warns
+/// instead of failing the finished campaign.
+void write_artifact(const std::string& path, const std::string& payload,
+                    const char* what) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(payload.data(),
+            static_cast<std::streamsize>(payload.size()));
+  if (!out) {
+    obs::diag(obs::Severity::kWarn, "obs",
+              std::string("cannot write ") + what + " file " + path);
   }
 }
 
@@ -93,6 +112,20 @@ Report run_campaign(const CampaignSpec& spec, const CampaignOptions& opts,
       s->set_workers(opts.jobs);
     }
   }
+
+  // Observability: the tracer records for exactly the campaign's
+  // duration; metrics are reported as a delta of the process-wide
+  // registry so back-to-back campaigns don't pollute each other.  Both
+  // are pure byproducts — the canonical report bytes never depend on
+  // them (see tests/campaign determinism checks).
+  obs::Tracer& tracer = obs::Tracer::global();
+  const bool tracing = !opts.trace_file.empty();
+  if (tracing) {
+    tracer.clear();
+    tracer.set_thread_name("campaign");
+    tracer.enable();
+  }
+  const obs::MetricsSnapshot metrics_start = obs::Registry::global().snapshot();
 
   util::Timer timer;
   Report report;
@@ -157,6 +190,7 @@ Report run_campaign(const CampaignSpec& spec, const CampaignOptions& opts,
   for (CircuitCtx& ctx : circuits) {
     group.run([&group, &report, &ctx, &popts, &store, &positions] {
       try {
+        OBS_SPAN("prepare", ctx.name);
         ctx.prepared = reseed::Pipeline::prepare(load_circuit(ctx.name),
                                                  ctx.name, popts);
       } catch (const std::exception& e) {
@@ -189,6 +223,18 @@ Report run_campaign(const CampaignSpec& spec, const CampaignOptions& opts,
   }
 
   report.wall_ms = timer.millis();
+
+  report.metrics =
+      obs::Registry::global().snapshot().delta_from(metrics_start);
+  report.metrics_enabled = true;
+  if (tracing) {
+    tracer.disable();
+    write_artifact(opts.trace_file, tracer.to_chrome_json(), "trace");
+  }
+  if (!opts.metrics_file.empty()) {
+    write_artifact(opts.metrics_file, obs::metrics_to_json(report.metrics),
+                   "metrics");
+  }
   return report;
 }
 

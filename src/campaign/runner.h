@@ -64,6 +64,21 @@ struct CampaignOptions {
   /// whole sweep.
   std::size_t shard_index = 0;
   std::size_t shard_count = 1;
+
+  /// Chrome trace_event output (`--trace FILE`): enables the process
+  /// tracer for the campaign's duration and serializes every span —
+  /// one track per scheduler worker plus the caller — to FILE at the
+  /// end (loadable in Perfetto / chrome://tracing).  Empty disables
+  /// tracing; with FBIST_OBSERVABILITY=0 builds the file is written
+  /// but contains no events.
+  std::string trace_file;
+
+  /// Standalone metrics document (`--metrics FILE`): snapshots the
+  /// process-wide metrics registry before and after the campaign and
+  /// writes the delta to FILE; the same delta lands in the report's
+  /// execution section (Report::metrics).  Neither artifact perturbs
+  /// the canonical report bytes.
+  std::string metrics_file;
 };
 
 /// Executes the spec and returns the filled report.  Uses the global

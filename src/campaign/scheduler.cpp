@@ -4,6 +4,10 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace fbist::campaign {
 
@@ -64,6 +68,11 @@ bool Scheduler::on_worker_thread() const { return tls_scheduler == this; }
 
 void Scheduler::start_threads(std::size_t workers) {
   num_workers_ = std::max<std::size_t>(1, workers);
+#if FBIST_OBSERVABILITY
+  obs::Registry::global()
+      .gauge("scheduler.workers")
+      .set(static_cast<std::int64_t>(num_workers_));
+#endif
   stop_ = false;
   queues_.assign(num_workers_, {});
   threads_.reserve(num_workers_);
@@ -118,6 +127,14 @@ bool Scheduler::help_one() {
 void Scheduler::worker_main(std::size_t me) {
   tls_scheduler = this;
   tls_worker_index = me;
+#if FBIST_OBSERVABILITY
+  // One trace track per worker; named before any span can land on it.
+  obs::Tracer::global().set_thread_name("worker-" + std::to_string(me));
+#endif
+  OBS_COUNTER(c_tasks, "scheduler.tasks");
+  OBS_COUNTER(c_steal_attempts, "scheduler.steal_attempts");
+  OBS_COUNTER(c_steals, "scheduler.steals");
+  OBS_COUNTER(c_park_ns, "scheduler.park_ns");
   std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
     // 1. Own deque, newest first (LIFO keeps nested submissions hot)...
@@ -127,18 +144,25 @@ void Scheduler::worker_main(std::size_t me) {
       queues_[me].pop_back();
     } else {
       // ...else steal the oldest task of the first busy victim.
+      OBS_COUNT(c_steal_attempts, 1);
       for (std::size_t k = 1; k < queues_.size(); ++k) {
         auto& victim = queues_[(me + k) % queues_.size()];
         if (!victim.empty()) {
           task = std::move(victim.front());
           victim.pop_front();
+          OBS_COUNT(c_steals, 1);
+          OBS_INSTANT("steal");
           break;
         }
       }
     }
     if (task) {
       lk.unlock();
-      task();
+      {
+        OBS_SPAN("task");
+        task();
+      }
+      OBS_COUNT(c_tasks, 1);
       task = nullptr;
       lk.lock();
       continue;
@@ -155,14 +179,23 @@ void Scheduler::worker_main(std::size_t me) {
     if (job != nullptr) {
       ++job->active;
       lk.unlock();
-      participate(*job);
+      {
+        OBS_SPAN("loop_join");
+        participate(*job);
+      }
       lk.lock();
       if (--job->active == 0) done_cv_.notify_all();
       continue;
     }
 
     if (stop_) break;
+#if FBIST_OBSERVABILITY
+    const std::uint64_t park0 = obs::Clock::now_ns();
     work_cv_.wait(lk);
+    OBS_COUNT(c_park_ns, obs::Clock::now_ns() - park0);
+#else
+    work_cv_.wait(lk);
+#endif
   }
   tls_scheduler = nullptr;
 }
@@ -185,7 +218,12 @@ void Scheduler::participate(LoopJob& job) {
 void Scheduler::parallel_for(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
   if (n == 0) return;
+  OBS_COUNTER(c_loops, "scheduler.loops");
+  OBS_COUNTER(c_serial, "scheduler.loops_serial_cutoff");
+  OBS_COUNTER(c_degraded, "scheduler.loops_degraded");
+  OBS_COUNT(c_loops, 1);
   if (n < kSerialCutoff) {
+    OBS_COUNT(c_serial, 1);
     for (std::size_t i = 0; i < n; ++i) fn(i, 0);
     return;
   }
@@ -210,6 +248,12 @@ void Scheduler::parallel_for(
     // Workers that already joined may still be finishing their chunks;
     // the job must outlive them.
     done_cv_.wait(lk, [&job] { return job.active == 0; });
+  }
+  // Exactly one slot claimed means no worker ever joined: the loop
+  // degraded to its caller running it serially (the saturated-pool
+  // fallback the scheduler promises instead of deadlock).
+  if (job.slots.load(std::memory_order_relaxed) == 1) {
+    OBS_COUNT(c_degraded, 1);
   }
 }
 

@@ -1,0 +1,46 @@
+// The one monotonic clock of the observability layer.
+//
+// Every timestamp in the stack — span begin/end, metric latency
+// samples, report wall_ms, checkpoint write timings — reads this clock,
+// so durations from different subsystems compose on one timeline (the
+// Chrome trace depends on that: span nesting across layers only lines
+// up when everyone shares an epoch).  util::Timer is a thin stopwatch
+// over it; the ad-hoc per-file std::chrono idioms it replaced measured
+// the same steady_clock but each re-derived the conversion arithmetic.
+//
+// Timestamps are nanoseconds since the first use in the process (a
+// process-local epoch keeps trace numbers small and readable; absolute
+// time carries no meaning for intra-run profiling).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace fbist::obs {
+
+class Clock {
+ public:
+  /// Nanoseconds since the process-local epoch (monotonic, never
+  /// adjusted).  First caller pins the epoch.
+  static std::uint64_t now_ns() {
+    const auto t = std::chrono::steady_clock::now();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t - epoch())
+            .count());
+  }
+
+  static double to_ms(std::uint64_t ns) {
+    return static_cast<double>(ns) * 1e-6;
+  }
+  static double to_us(std::uint64_t ns) {
+    return static_cast<double>(ns) * 1e-3;
+  }
+
+ private:
+  static std::chrono::steady_clock::time_point epoch() {
+    static const auto t0 = std::chrono::steady_clock::now();
+    return t0;
+  }
+};
+
+}  // namespace fbist::obs

@@ -1,0 +1,49 @@
+#include "obs/diag.h"
+
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace fbist::obs {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kInfo: return "INFO";
+    case Severity::kWarn: return "WARN";
+    case Severity::kError: return "ERROR";
+  }
+  return "?";
+}
+
+void diag(Severity sev, const char* subsystem, const std::string& message) {
+  switch (sev) {
+    case Severity::kInfo: {
+      static Counter& c = Registry::global().counter("diag.info");
+      c.add();
+      break;
+    }
+    case Severity::kWarn: {
+      static Counter& c = Registry::global().counter("diag.warn");
+      c.add();
+      break;
+    }
+    case Severity::kError: {
+      static Counter& c = Registry::global().counter("diag.error");
+      c.add();
+      break;
+    }
+  }
+  // One buffer, one write: concurrent workers' lines never interleave.
+  std::string line;
+  line.reserve(message.size() + 32);
+  line += "fbist[";
+  line += severity_name(sev);
+  line += "] ";
+  line += subsystem;
+  line += ": ";
+  line += message;
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+}  // namespace fbist::obs

@@ -1,0 +1,31 @@
+// Structured operator diagnostics: one stderr stream, one format.
+//
+// The scattered ad-hoc stderr writes (corrupt checkpoint blob skipped,
+// cache read failure, un-checkpointed run) each invented their own
+// prefix, which made the operator's grep a guessing game.  diag()
+// funnels them through one line shape:
+//
+//   fbist[WARN] checkpoint: blob run-3.ckpt unreadable — re-executing
+//   ^     ^     ^           ^
+//   tool  sev   subsystem   message
+//
+// so `grep '^fbist\[' `, `grep '\[ERROR\]'` or `grep 'checkpoint:'`
+// each select a meaningful slice.  Every diag also bumps the
+// `diag.<severity>` counter in the metrics registry, so a --metrics
+// snapshot shows whether anything complained even when stderr was
+// discarded.  Lines are written with one atomic fputs-style call so
+// concurrent workers never interleave mid-line.
+#pragma once
+
+#include <string>
+
+namespace fbist::obs {
+
+enum class Severity { kInfo, kWarn, kError };
+
+const char* severity_name(Severity s);
+
+/// Writes "fbist[SEV] subsystem: message\n" to stderr and counts it.
+void diag(Severity sev, const char* subsystem, const std::string& message);
+
+}  // namespace fbist::obs

@@ -1,0 +1,144 @@
+// Scoped spans + instant events with Chrome trace_event export.
+//
+// OBS_SPAN("matrix_build") opens an RAII span on the calling thread;
+// on scope exit one *complete* ('X') trace event — name, start
+// timestamp, duration, thread track — lands in the thread's private
+// event buffer.  OBS_INSTANT("steal") drops a zero-duration 'i' event.
+// Buffers are thread-local vectors: recording takes no lock and
+// touches no shared cache line; the Tracer only keeps a registry of
+// buffers (appended once per thread) so serialization can find them.
+//
+// Serialization produces Chrome trace_event JSON ("traceEvents"
+// array of {name, ph, ts, dur, pid, tid} records, ts/dur in
+// microseconds) loadable in Perfetto / chrome://tracing.  Scheduler
+// workers name their tracks ("worker-N", via set_thread_name), so a
+// campaign trace shows one lane per worker with the pipeline-stage
+// spans of whatever run that worker executed, plus instant markers for
+// cache hits, steals and checkpoint writes.
+//
+// Two switches:
+//  * runtime: Tracer::global().enable() — recording is gated on one
+//    relaxed atomic load, so an idle (disabled) span costs a couple of
+//    nanoseconds.  `fbist campaign --trace FILE` enables for the
+//    campaign and writes FILE at the end.
+//  * compile time: build with FBIST_OBSERVABILITY=0 and OBS_SPAN /
+//    OBS_INSTANT expand to nothing at all — the hot paths carry zero
+//    instrumentation bytes.  The Tracer class itself still compiles
+//    (and serializes an empty trace), so callers need no #if guards.
+//
+// Span names must be string literals (or otherwise outlive the
+// tracer): buffers store the pointer, not a copy.  The optional detail
+// string is copied, and only when tracing is enabled.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/clock.h"
+
+#ifndef FBIST_OBSERVABILITY
+#define FBIST_OBSERVABILITY 1
+#endif
+
+namespace fbist::obs {
+
+/// One recorded event.  `phase` follows the Chrome trace_event codes:
+/// 'X' complete span (ts + dur), 'i' instant.
+struct TraceEvent {
+  const char* name = nullptr;
+  std::string detail;  // optional "args.detail" payload
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;
+  char phase = 'X';
+};
+
+class Tracer {
+ public:
+  static Tracer& global();
+
+  /// Starts recording (and implicitly defines the trace's epoch as
+  /// whatever Clock::now_ns() reads — timestamps are process-relative).
+  void enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Drops every recorded event (buffers stay registered).
+  void clear();
+
+  /// Records an instant event on the calling thread.  No-op when
+  /// disabled.
+  void instant(const char* name);
+  void instant(const char* name, std::string detail);
+
+  /// Names the calling thread's track in the exported trace (e.g.
+  /// "worker-3").  Cheap enough to call unconditionally; the last call
+  /// before export wins.
+  void set_thread_name(const std::string& name);
+
+  /// The whole trace as Chrome trace_event JSON.  Call quiesced (after
+  /// the traced work has completed); recording threads that race the
+  /// export may lose their newest events but never corrupt the JSON.
+  std::string to_chrome_json() const;
+
+  /// Total events recorded (tests).
+  std::size_t num_events() const;
+
+  // -- internal (Span + thread registration) --------------------------
+  struct ThreadBuffer {
+    std::vector<TraceEvent> events;
+    std::string thread_name;
+    std::uint32_t tid = 0;
+    std::mutex mu;  // guards events vs. a concurrent export, not writers
+  };
+  ThreadBuffer& local_buffer();
+
+ private:
+  std::atomic<bool> enabled_{false};
+
+  mutable std::mutex mu_;  // guards buffers_ registration/iteration
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII span: records one 'X' event on destruction.  When tracing is
+/// disabled at construction the span is inert (one relaxed load).
+class Span {
+ public:
+  explicit Span(const char* name)
+      : name_(Tracer::global().enabled() ? name : nullptr) {
+    if (name_ != nullptr) start_ = Clock::now_ns();
+  }
+  Span(const char* name, std::string detail) : Span(name) {
+    if (name_ != nullptr) detail_ = std::move(detail);
+  }
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  bool active() const { return name_ != nullptr; }
+
+ private:
+  const char* name_;  // null = inert
+  std::string detail_;
+  std::uint64_t start_ = 0;
+};
+
+}  // namespace fbist::obs
+
+#if FBIST_OBSERVABILITY
+#define OBS_CONCAT_INNER(a, b) a##b
+#define OBS_CONCAT(a, b) OBS_CONCAT_INNER(a, b)
+/// OBS_SPAN("name") or OBS_SPAN("name", detail_string) — scoped span
+/// covering the rest of the enclosing block.
+#define OBS_SPAN(...) \
+  ::fbist::obs::Span OBS_CONCAT(obs_span_, __LINE__)(__VA_ARGS__)
+/// OBS_INSTANT("name") or OBS_INSTANT("name", detail_string).
+#define OBS_INSTANT(...) ::fbist::obs::Tracer::global().instant(__VA_ARGS__)
+#else
+#define OBS_SPAN(...) ((void)0)
+#define OBS_INSTANT(...) ((void)0)
+#endif

@@ -4,6 +4,8 @@
 #include <memory>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "reseed/matrix_cache.h"
 #include "util/parallel.h"
 #include "util/simd.h"
@@ -63,6 +65,7 @@ InitialReseeding build_initial_reseeding(const sim::FaultSim& fsim,
   if (cache != nullptr) {
     key = MatrixCache::key(fsim.compiled(), fsim.faults(), tpg, out.triplets);
     if (const auto cached = cache->lookup(key)) {
+      OBS_INSTANT("matrix_cache_hit");
       out.matrix = *cached;  // one copy; the fault simulator never runs
       fill_uncovered(out);
       return out;
@@ -86,7 +89,10 @@ InitialReseeding build_initial_reseeding(const sim::FaultSim& fsim,
   for (std::size_t i = 0; i < M; ++i) lengths[i] = out.triplets[i].cycles;
   const std::vector<sim::LanePacking> packings =
       sim::pack_rows(lengths, util::preferred_pack_blocks());
+  OBS_COUNTER(c_packings, "builder.packings");
   util::parallel_for(packings.size(), [&](std::size_t p) {
+    OBS_SPAN("packing");
+    OBS_COUNT(c_packings, 1);
     const sim::LanePacking& pk = packings[p];
     sim::PatternSet packed(tpg.width(), pk.num_patterns);
     for (const sim::LanePacking::Row& pr : pk.rows) {

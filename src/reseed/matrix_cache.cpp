@@ -8,7 +8,11 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/diag.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "reseed/serialize.h"
+#include "util/timer.h"
 
 namespace fbist::reseed {
 
@@ -118,12 +122,21 @@ MatrixCache::Key MatrixCache::key(const netlist::CompiledCircuit& cc,
 }
 
 std::shared_ptr<const cover::DetectionMatrix> MatrixCache::lookup(Key k) {
+  // Lookup latency lands in an outcome-specific histogram — a memory
+  // hit (~100ns), a disk hit (ms) and a miss that triggers a rebuild
+  // (seconds downstream) are different regimes and averaging them
+  // would say nothing.
+  OBS_HISTOGRAM(h_hit, "matrix_cache.hit_ns");
+  OBS_HISTOGRAM(h_disk_hit, "matrix_cache.disk_hit_ns");
+  OBS_HISTOGRAM(h_miss, "matrix_cache.miss_ns");
+  util::Timer timer;
   {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = index_.find(k);
     if (it != index_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);  // touch
       ++stats_.hits;
+      OBS_OBSERVE(h_hit, timer.nanos());
       return it->second->matrix;
     }
   }
@@ -139,6 +152,8 @@ std::shared_ptr<const cover::DetectionMatrix> MatrixCache::lookup(Key k) {
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.hits;
         ++stats_.disk_hits;
+        OBS_INSTANT("disk_hit");
+        OBS_OBSERVE(h_disk_hit, timer.nanos());
         const auto it = index_.find(k);  // raced promotion: reuse theirs
         if (it != index_.end()) {
           lru_.splice(lru_.begin(), lru_, it->second);
@@ -154,19 +169,25 @@ std::shared_ptr<const cover::DetectionMatrix> MatrixCache::lookup(Key k) {
           }
         }
         return m;
-      } catch (const std::runtime_error&) {
+      } catch (const std::runtime_error& e) {
         // Unreadable or future-version blob: fall through to a miss;
         // the rebuild's store overwrites it.
+        obs::diag(obs::Severity::kWarn, "matrix_cache",
+                  "unreadable blob " + path + " (" + e.what() +
+                      "), rebuilding");
       }
     }
   }
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.misses;
+  OBS_OBSERVE(h_miss, timer.nanos());
   return nullptr;
 }
 
 void MatrixCache::store(Key k, std::shared_ptr<const cover::DetectionMatrix> m) {
   if (m == nullptr) return;
+  OBS_HISTOGRAM(h_store, "matrix_cache.store_ns");
+  util::Timer timer;
   bool write_disk = !opts_.dir.empty();
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -187,7 +208,10 @@ void MatrixCache::store(Key k, std::shared_ptr<const cover::DetectionMatrix> m) 
       }
     }
   }
-  if (!write_disk) return;
+  if (!write_disk) {
+    OBS_OBSERVE(h_store, timer.nanos());
+    return;
+  }
   // Temp-then-rename keeps concurrent readers off torn files; the
   // temp name is pid-qualified so concurrent processes do not collide.
   std::error_code ec;
@@ -199,11 +223,15 @@ void MatrixCache::store(Key k, std::shared_ptr<const cover::DetectionMatrix> m) 
     write_matrix_file(*m, tmp_path);
     fs::rename(tmp_path, final_path, ec);
     if (ec) fs::remove(tmp_path, ec);
-  } catch (const std::runtime_error&) {
+  } catch (const std::runtime_error& e) {
     // Disk tier is best-effort: an unwritable directory degrades the
     // cache to memory-only rather than failing the build.
+    obs::diag(obs::Severity::kWarn, "matrix_cache",
+              "cannot persist blob " + final_path + " (" + e.what() +
+                  "), memory tier only");
     fs::remove(tmp_path, ec);
   }
+  OBS_OBSERVE(h_store, timer.nanos());
 }
 
 MatrixCacheStats MatrixCache::stats() const {

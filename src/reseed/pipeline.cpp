@@ -2,6 +2,10 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/timer.h"
+
 namespace fbist::reseed {
 
 Pipeline::Pipeline(const std::string& circuit_name, PipelineOptions opts)
@@ -27,10 +31,18 @@ PreparedCircuit Pipeline::prepare(netlist::Netlist nl, std::string name,
 }
 
 void Pipeline::init() {
+  OBS_HISTOGRAM(h_compile, "pipeline.compile_ns");
+  OBS_HISTOGRAM(h_collapse, "pipeline.collapse_ns");
+  OBS_HISTOGRAM(h_atpg, "pipeline.atpg_ns");
   // Compile the circuit once; fault collapsing, ATPG, PODEM, and every
   // fault-simulation campaign below (and across all TPG kinds / T
   // values) share it — the structure is derived exactly once.
-  compiled_ = std::make_shared<const netlist::CompiledCircuit>(nl_);
+  {
+    OBS_SPAN("compile", name_);
+    util::Timer t;
+    compiled_ = std::make_shared<const netlist::CompiledCircuit>(nl_);
+    OBS_OBSERVE(h_compile, t.nanos());
+  }
 
   // TestGen substitute: deterministic ATPG provides the complete test
   // set ATPGTS and implicitly defines the target fault list F — the
@@ -38,10 +50,21 @@ void Pipeline::init() {
   // list (the paper's F is the ATPG tool's detected-fault list, and
   // coverable fault coverage is measured against it).
   {
-    const fault::FaultList all = fault::FaultList::collapsed(*compiled_);
+    fault::FaultList all;
+    {
+      OBS_SPAN("collapse", name_);
+      util::Timer t;
+      all = fault::FaultList::collapsed(*compiled_);
+      OBS_OBSERVE(h_collapse, t.nanos());
+    }
     atpg::AtpgOptions aopts = opts_.atpg;
     aopts.seed ^= util::hash_string(name_);
-    atpg_ = atpg::run_atpg(nl_, all, aopts, compiled_);
+    {
+      OBS_SPAN("atpg", name_);
+      util::Timer t;
+      atpg_ = atpg::run_atpg(nl_, all, aopts, compiled_);
+      OBS_OBSERVE(h_atpg, t.nanos());
+    }
 
     std::vector<bool> drop(all.size(), false);
     for (std::size_t f = 0; f < all.size(); ++f) {
@@ -58,13 +81,27 @@ void Pipeline::init() {
 std::pair<InitialReseeding, ReseedingSolution> Pipeline::run_detailed(
     tpg::TpgKind kind, std::size_t cycles,
     const OptimizerOptions& optimizer) const {
+  OBS_HISTOGRAM(h_build, "pipeline.matrix_build_ns");
+  OBS_HISTOGRAM(h_solve, "pipeline.cover_solve_ns");
   const auto tpg = tpg::make_tpg(kind, nl_.num_inputs());
   BuilderOptions b = opts_.builder;
   if (cycles != 0) b.cycles_per_triplet = cycles;
   b.seed ^= util::hash_string(name_) ^ static_cast<std::uint64_t>(kind);
-  InitialReseeding initial = build_initial_reseeding(
-      *fsim_, *tpg, atpg_.patterns, b, opts_.matrix_cache.get());
-  ReseedingSolution sol = optimize(initial, optimizer);
+  InitialReseeding initial;
+  {
+    OBS_SPAN("matrix_build", name_);
+    util::Timer t;
+    initial = build_initial_reseeding(*fsim_, *tpg, atpg_.patterns, b,
+                                      opts_.matrix_cache.get());
+    OBS_OBSERVE(h_build, t.nanos());
+  }
+  ReseedingSolution sol;
+  {
+    OBS_SPAN("cover_solve", name_);
+    util::Timer t;
+    sol = optimize(initial, optimizer);
+    OBS_OBSERVE(h_solve, t.nanos());
+  }
   return {std::move(initial), std::move(sol)};
 }
 

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "util/parallel.h"
 #include "util/simd.h"
 
@@ -481,6 +482,16 @@ FaultSimResult FaultSim::run_subset(const PatternSet& patterns,
   // 256 or 512 patterns.  A forced-narrow tier walks every block alone.
   const std::size_t cw =
       blocks > 1 ? util::chunk_width_for(blocks - 1) : 0;
+  // Campaign-grain counters only (one shard add per campaign, never per
+  // site or block): the cone walk itself stays instrumentation-free.
+  OBS_COUNTER(c_campaigns, "sim.campaigns");
+  OBS_COUNTER(c_blocks, "sim.blocks");
+  OBS_COUNTER(c_narrow, "sim.tier_narrow");
+  OBS_COUNTER(c_wide4, "sim.tier_wide4");
+  OBS_COUNTER(c_wide8, "sim.tier_wide8");
+  OBS_COUNT(c_campaigns, 1);
+  OBS_COUNT(c_blocks, blocks);
+  OBS_COUNT(cw == 4 ? c_wide4 : cw == 8 ? c_wide8 : c_narrow, 1);
   const std::size_t lead_blocks = cw == 0 ? blocks : 1;
   const std::size_t nchunks = cw == 0 ? 0 : (blocks - 1 + cw - 1) / cw;
   std::vector<std::vector<Word>> goodT;
@@ -578,9 +589,16 @@ FaultSimResult FaultSim::run_subset(const PatternSet& patterns,
   } else {
     for (std::size_t sid = 0; sid < sites_.size(); ++sid) simulate_site(sid, 0);
   }
+  std::uint64_t dropped = 0;
   for (std::size_t fid = 0; fid < nf; ++fid) {
-    if (detected_flag[fid]) result.detected.set(fid);
+    if (detected_flag[fid]) {
+      result.detected.set(fid);
+      ++dropped;  // detected faults leave all later blocks' walks
+    }
   }
+  OBS_COUNTER(c_dropped, "sim.faults_dropped");
+  OBS_COUNT(c_dropped, dropped);
+  (void)dropped;  // read only in observability builds
   return result;
 }
 
@@ -685,6 +703,14 @@ std::vector<FaultSimResult> FaultSim::run_packed(const PatternSet& packed,
   // dispatch, util::chunk_width_for); a single-block packing — or a
   // forced-narrow tier — takes the cheaper narrow walk per block.
   const std::size_t cw = blocks > 1 ? util::chunk_width_for(blocks) : 0;
+  OBS_COUNTER(c_campaigns, "sim.campaigns");
+  OBS_COUNTER(c_blocks, "sim.blocks");
+  OBS_COUNTER(c_narrow, "sim.tier_narrow");
+  OBS_COUNTER(c_wide4, "sim.tier_wide4");
+  OBS_COUNTER(c_wide8, "sim.tier_wide8");
+  OBS_COUNT(c_campaigns, 1);
+  OBS_COUNT(c_blocks, blocks);
+  OBS_COUNT(cw == 4 ? c_wide4 : cw == 8 ? c_wide8 : c_narrow, 1);
   const std::size_t nchunks = cw == 0 ? 0 : (blocks + cw - 1) / cw;
   std::vector<std::vector<Word>> goodT;
   std::vector<WordV<4>> chunk_lanes4;
@@ -782,12 +808,19 @@ std::vector<FaultSimResult> FaultSim::run_packed(const PatternSet& packed,
   }
   // Assemble packed detection bits outside the parallel section (sites
   // write distinct earliest slots; BitVector words would be shared).
+  std::uint64_t dropped = 0;
   for (std::size_t i = 0; i < nrows; ++i) {
     FaultSimResult& res = results[i];
     for (std::size_t fid = 0; fid < nf; ++fid) {
-      if (res.earliest[fid] != kNotDetected) res.detected.set(fid);
+      if (res.earliest[fid] != kNotDetected) {
+        res.detected.set(fid);
+        ++dropped;  // per-row detections stop that row's later blocks
+      }
     }
   }
+  OBS_COUNTER(c_dropped, "sim.faults_dropped");
+  OBS_COUNT(c_dropped, dropped);
+  (void)dropped;  // read only in observability builds
   return results;
 }
 

@@ -1,8 +1,8 @@
-#include "campaign/json.h"
+#include "util/json.h"
 
 #include <cstdio>
 
-namespace fbist::campaign {
+namespace fbist::util {
 
 std::string JsonWriter::escape(const std::string& s) {
   std::string out;
@@ -116,4 +116,4 @@ void JsonWriter::null_value() {
   out_ += "null";
 }
 
-}  // namespace fbist::campaign
+}  // namespace fbist::util

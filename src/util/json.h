@@ -1,0 +1,61 @@
+// Minimal deterministic JSON emitter.
+//
+// The library vendors nothing, so every JSON artifact — campaign
+// reports, metrics snapshots, Chrome trace files — is built with one
+// small streaming writer: explicit begin/end calls, automatic comma
+// placement, two-space pretty printing, RFC 8259 string escaping.
+// Numbers are emitted from integers or via fixed-precision formatting
+// only — no locale- or platform-dependent shortest-round-trip floats —
+// so a document serializes byte-identically across runs and worker
+// counts (the determinism contract tests/campaign/campaign_test.cpp
+// pins).  Grew up as campaign::JsonWriter; it moved down to util when
+// the observability layer needed the same writer below the campaign
+// layer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fbist::util {
+
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Emits the key of the next value inside an object.
+  void key(const std::string& k);
+
+  void value(const std::string& v);
+  void value(const char* v);
+  void value(std::uint64_t v);
+  void value(int v);
+  void value(bool v);
+  /// Fixed-precision decimal (deterministic across platforms).
+  void value_fixed(double v, int digits);
+  void null_value();
+
+  /// The document so far; complete once every container is closed.
+  const std::string& str() const { return out_; }
+
+  static std::string escape(const std::string& s);
+
+ private:
+  void comma_for_value();
+  void newline_indent();
+
+  std::string out_;
+  // One frame per open container: whether it already holds an element
+  // (comma needed) and whether a key was just written (value follows
+  // inline instead of on a fresh indented line).
+  struct Frame {
+    bool has_element = false;
+  };
+  std::vector<Frame> stack_;
+  bool after_key_ = false;
+};
+
+}  // namespace fbist::util

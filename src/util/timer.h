@@ -1,25 +1,29 @@
-// Lightweight wall-clock timing helpers for the benchmark harnesses.
+// Lightweight wall-clock stopwatch over the shared obs::Clock.
+//
+// Historically this carried its own steady_clock plumbing and each
+// timing site re-derived the elapsed-time arithmetic; everything now
+// reads the single monotonic observability clock (obs/clock.h), so
+// report timings, trace spans and metric latency samples share one
+// timeline.
 #pragma once
 
-#include <chrono>
+#include "obs/clock.h"
 
 namespace fbist::util {
 
 /// Stopwatch measuring elapsed wall time since construction or reset().
 class Timer {
  public:
-  Timer() : start_(Clock::now()) {}
+  Timer() : start_(obs::Clock::now_ns()) {}
 
-  void reset() { start_ = Clock::now(); }
+  void reset() { start_ = obs::Clock::now_ns(); }
 
-  double seconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
-  }
-  double millis() const { return seconds() * 1e3; }
+  std::uint64_t nanos() const { return obs::Clock::now_ns() - start_; }
+  double seconds() const { return static_cast<double>(nanos()) * 1e-9; }
+  double millis() const { return obs::Clock::to_ms(nanos()); }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  std::uint64_t start_;
 };
 
 }  // namespace fbist::util

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
 #include "campaign/json.h"
 
@@ -136,6 +137,63 @@ TEST(Campaign, TimingSectionIsOptIn) {
             std::string::npos);
   EXPECT_EQ(rep.jobs, 2u);
   EXPECT_NE(rep.summary().find("c17"), std::string::npos);
+}
+
+TEST(Campaign, ObservabilityNeverChangesCanonicalReportBytes) {
+  // --trace/--metrics are pure byproducts: the canonical JSON of an
+  // instrumented campaign is byte-identical to an uninstrumented one,
+  // at one worker and at several.
+  CampaignSpec spec;
+  spec.circuits = {"c17", "c432"};
+  spec.cycle_values = {16};
+  const std::string trace_path = ::testing::TempDir() + "fbist_obs.trace";
+  const std::string metrics_path = ::testing::TempDir() + "fbist_obs.metrics";
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{2}}) {
+    Scheduler plain_sched(jobs);
+    const Report plain = run_campaign(spec, {}, &plain_sched);
+
+    CampaignOptions opts;
+    opts.trace_file = trace_path;
+    opts.metrics_file = metrics_path;
+    Scheduler obs_sched(jobs);
+    const Report observed = run_campaign(spec, opts, &obs_sched);
+
+    EXPECT_EQ(plain.to_json(), observed.to_json()) << "jobs=" << jobs;
+
+    // Both artifacts landed and are non-trivial documents.
+    std::ifstream tf(trace_path), mf(metrics_path);
+    std::stringstream ts, ms;
+    ts << tf.rdbuf();
+    ms << mf.rdbuf();
+    EXPECT_NE(ts.str().find("traceEvents"), std::string::npos);
+    EXPECT_NE(ms.str().find("fbist-metrics"), std::string::npos);
+  }
+  std::remove(trace_path.c_str());
+  std::remove(metrics_path.c_str());
+}
+
+TEST(Campaign, MetricsDeltaLandsInExecutionSection) {
+  Scheduler sched(2);
+  CampaignSpec spec;
+  spec.circuits = {"c17"};
+  spec.cycle_values = {8};
+  const Report rep = run_campaign(spec, {}, &sched);
+  EXPECT_TRUE(rep.metrics_enabled);
+  // Canonical JSON never mentions metrics; the execution section does.
+  EXPECT_EQ(rep.to_json().find("\"metrics\""), std::string::npos);
+  const std::string timed = rep.to_json(/*include_timing=*/true);
+  EXPECT_NE(timed.find("\"metrics\""), std::string::npos);
+#if FBIST_OBSERVABILITY
+  // The delta covers this campaign's own work: the simulator ran and
+  // the scheduler executed tasks.
+  std::uint64_t sim_campaigns = 0, tasks = 0;
+  for (const auto& [name, v] : rep.metrics.counters) {
+    if (name == "sim.campaigns") sim_campaigns = v;
+    if (name == "scheduler.tasks") tasks = v;
+  }
+  EXPECT_GT(sim_campaigns, 0u);
+  EXPECT_GT(tasks, 0u);
+#endif
 }
 
 TEST(Campaign, DegenerateSpecThrows) {

@@ -1,0 +1,280 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace fbist::obs {
+namespace {
+
+/// Minimal JSON scanner for the exported trace: validates overall
+/// well-formedness (balanced structure, quoted keys) and extracts the
+/// flat fields of every event record.  The exporter never nests deeper
+/// than traceEvents[i].args, so a depth-tracking scan suffices.
+struct ParsedEvent {
+  std::string name;
+  std::string ph;
+  double ts = -1.0;
+  double dur = -1.0;
+  std::int64_t tid = -1;
+  bool has_dur = false;
+  bool has_scope = false;  // "s" key (instant events)
+};
+
+class TraceJson {
+ public:
+  explicit TraceJson(const std::string& text) : s_(text) { parse(); }
+
+  const std::vector<ParsedEvent>& events() const { return events_; }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("trace json at " + std::to_string(i_) + ": " +
+                             why);
+  }
+  char peek() const {
+    if (i_ >= s_.size()) fail("eof");
+    return s_[i_];
+  }
+  void skip_ws() {
+    while (i_ < s_.size() && (s_[i_] == ' ' || s_[i_] == '\n')) ++i_;
+  }
+  void expect(char c) {
+    skip_ws();
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++i_;
+  }
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (peek() != '"') {
+      char c = s_[i_++];
+      if (c == '\\') out += s_[i_++];
+      else out += c;
+    }
+    ++i_;
+    return out;
+  }
+  double parse_number() {
+    skip_ws();
+    std::size_t used = 0;
+    const double v = std::stod(s_.substr(i_), &used);
+    if (used == 0) fail("bad number");
+    i_ += used;
+    return v;
+  }
+  void parse_value(ParsedEvent* ev, const std::string& key, int depth) {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') {
+      parse_object(nullptr, depth + 1);
+    } else if (c == '"') {
+      const std::string v = parse_string();
+      if (ev != nullptr && depth == 0) {
+        if (key == "name") ev->name = v;
+        if (key == "ph") ev->ph = v;
+        if (key == "s") ev->has_scope = true;
+      }
+    } else {
+      const double v = parse_number();
+      if (ev != nullptr && depth == 0) {
+        if (key == "ts") ev->ts = v;
+        if (key == "tid") ev->tid = static_cast<std::int64_t>(v);
+        if (key == "dur") {
+          ev->dur = v;
+          ev->has_dur = true;
+        }
+      }
+    }
+  }
+  void parse_object(ParsedEvent* ev, int depth) {
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++i_;
+      return;
+    }
+    for (;;) {
+      skip_ws();
+      const std::string key = parse_string();
+      expect(':');
+      parse_value(ev, key, depth);
+      skip_ws();
+      if (peek() == ',') {
+        ++i_;
+        continue;
+      }
+      expect('}');
+      return;
+    }
+  }
+  void parse() {
+    expect('{');
+    skip_ws();
+    if (parse_string() != "traceEvents") fail("traceEvents first");
+    expect(':');
+    expect('[');
+    skip_ws();
+    if (peek() != ']') {
+      for (;;) {
+        ParsedEvent ev;
+        parse_object(&ev, 0);
+        events_.push_back(ev);
+        skip_ws();
+        if (peek() == ',') {
+          ++i_;
+          continue;
+        }
+        break;
+      }
+    }
+    expect(']');
+    expect(',');
+    if (parse_string() != "displayTimeUnit") fail("displayTimeUnit");
+    expect(':');
+    parse_string();
+    expect('}');
+  }
+
+  const std::string& s_;
+  std::size_t i_ = 0;
+  std::vector<ParsedEvent> events_;
+};
+
+#if FBIST_OBSERVABILITY
+
+TEST(Trace, DisabledSpansRecordNothing) {
+  Tracer& tr = Tracer::global();
+  tr.disable();
+  tr.clear();
+  {
+    OBS_SPAN("idle");
+    OBS_INSTANT("nothing");
+  }
+  EXPECT_EQ(tr.num_events(), 0u);
+}
+
+TEST(Trace, ChromeJsonIsWellFormedWithSpanFields) {
+  Tracer& tr = Tracer::global();
+  tr.clear();
+  tr.enable();
+  tr.set_thread_name("test-main");
+  {
+    OBS_SPAN("outer", "with detail");
+    {
+      OBS_SPAN("inner");
+    }
+    OBS_INSTANT("marker");
+  }
+  tr.disable();
+
+  const std::string json = tr.to_chrome_json();
+  const TraceJson parsed(json);  // throws on malformed JSON
+
+  std::size_t n_x = 0, n_i = 0;
+  for (const ParsedEvent& ev : parsed.events()) {
+    if (ev.ph == "M") continue;  // thread_name metadata
+    ASSERT_FALSE(ev.name.empty());
+    ASSERT_GE(ev.ts, 0.0);
+    ASSERT_GE(ev.tid, 0);
+    if (ev.ph == "X") {
+      ++n_x;
+      EXPECT_TRUE(ev.has_dur) << ev.name;
+      EXPECT_GE(ev.dur, 0.0);
+    } else if (ev.ph == "i") {
+      ++n_i;
+      EXPECT_TRUE(ev.has_scope) << ev.name;  // "s":"t" per instant
+    } else {
+      FAIL() << "unexpected phase " << ev.ph;
+    }
+  }
+  EXPECT_EQ(n_x, 2u);
+  EXPECT_EQ(n_i, 1u);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("test-main"), std::string::npos);
+}
+
+TEST(Trace, SpanNestingBalancesPerTrack) {
+  // Spans from one thread are RAII-scoped, so per track (tid) the
+  // recorded intervals must form a laminar family: any two are nested
+  // or disjoint, never partially overlapping.
+  Tracer& tr = Tracer::global();
+  tr.clear();
+  tr.enable();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([] {
+      for (int rep = 0; rep < 4; ++rep) {
+        OBS_SPAN("a");
+        {
+          OBS_SPAN("b");
+          { OBS_SPAN("c"); }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  tr.disable();
+
+  const TraceJson parsed(tr.to_chrome_json());
+  std::vector<ParsedEvent> spans;
+  for (const ParsedEvent& ev : parsed.events()) {
+    if (ev.ph == "X") spans.push_back(ev);
+  }
+  EXPECT_EQ(spans.size(), 3u * 4u * 3u);
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    for (std::size_t j = i + 1; j < spans.size(); ++j) {
+      const ParsedEvent& a = spans[i];
+      const ParsedEvent& b = spans[j];
+      if (a.tid != b.tid) continue;
+      const double a0 = a.ts, a1 = a.ts + a.dur;
+      const double b0 = b.ts, b1 = b.ts + b.dur;
+      const bool disjoint = a1 <= b0 || b1 <= a0;
+      const bool nested = (a0 <= b0 && b1 <= a1) || (b0 <= a0 && a1 <= b1);
+      EXPECT_TRUE(disjoint || nested)
+          << a.name << "[" << a0 << "," << a1 << ") vs " << b.name << "["
+          << b0 << "," << b1 << ") on tid " << a.tid;
+    }
+  }
+}
+
+TEST(Trace, ClearDropsEvents) {
+  Tracer& tr = Tracer::global();
+  tr.clear();
+  tr.enable();
+  { OBS_SPAN("x"); }
+  tr.disable();
+  EXPECT_GT(tr.num_events(), 0u);
+  tr.clear();
+  EXPECT_EQ(tr.num_events(), 0u);
+  const TraceJson parsed(tr.to_chrome_json());
+  for (const ParsedEvent& ev : parsed.events()) {
+    EXPECT_EQ(ev.ph, "M");  // only track names survive a clear
+  }
+}
+
+#else  // FBIST_OBSERVABILITY == 0
+
+TEST(Trace, CompiledOutMacrosEmitNothingEvenWhenEnabled) {
+  Tracer& tr = Tracer::global();
+  tr.clear();
+  tr.enable();
+  {
+    OBS_SPAN("gone");
+    OBS_INSTANT("gone too");
+  }
+  tr.disable();
+  EXPECT_EQ(tr.num_events(), 0u);
+  // The exporter still produces a valid (empty) document.
+  const TraceJson parsed(tr.to_chrome_json());
+  for (const ParsedEvent& ev : parsed.events()) EXPECT_EQ(ev.ph, "M");
+}
+
+#endif
+
+}  // namespace
+}  // namespace fbist::obs

@@ -34,6 +34,15 @@
 //                            contiguous slices of the canonical run
 //                            order (1-based); shards run on different
 //                            processes/hosts and are folded by `merge`
+//       --trace FILE         record scoped spans (pipeline stages, per-
+//                            worker tasks, steals, cache/checkpoint
+//                            events) and write a Chrome trace_event
+//                            JSON loadable in Perfetto/chrome://tracing
+//       --metrics FILE       write the campaign's metrics delta
+//                            (scheduler/cache/simulator counters and
+//                            latency histograms) as standalone JSON
+//                            Neither flag changes the canonical report
+//                            bytes.
 //     Flags extend/override the spec file; each circuit is compiled and
 //     ATPG-prepared once and shared by all of its runs.  Determinism
 //     contract: the report is bit-identical for any --jobs value,
@@ -91,6 +100,7 @@ int usage() {
       "  campaign [spec.txt] [--circuits a,b,c] [--tpgs k1,k2] [--cycles n1,n2]\n"
       "           [--solvers exact|greedy] [--jobs N] [--json FILE] [--timings]\n"
       "           [--cache DIR] [--checkpoint DIR] [--shard I/N]\n"
+      "           [--trace FILE] [--metrics FILE]\n"
       "  merge <spec.txt | --circuits ...> --checkpoint DIR [--checkpoint DIR2 ...]\n"
       "        [--json FILE] [--timings]\n"
       "  cache list <dir> | clear <dir> | evict <dir> <key>\n"
@@ -357,6 +367,10 @@ CampaignArgs parse_campaign_args(const std::vector<std::string>& args) {
       out.copts.matrix_cache = std::make_shared<reseed::MatrixCache>(mopts);
     } else if (args[i] == "--checkpoint") {
       out.checkpoint_dirs.push_back(need_value("--checkpoint"));
+    } else if (args[i] == "--trace") {
+      out.copts.trace_file = need_value("--trace");
+    } else if (args[i] == "--metrics") {
+      out.copts.metrics_file = need_value("--metrics");
     } else if (args[i] == "--shard") {
       // "I/N", 1-based: --shard 2/3 executes the second of three
       // deterministic contiguous slices of the canonical run order.
