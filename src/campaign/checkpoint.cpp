@@ -1,10 +1,12 @@
 #include "campaign/checkpoint.h"
 
+#include <signal.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
-#include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -13,6 +15,8 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "reseed/serialize.h"
+#include "util/failpoint.h"
+#include "util/guarded_io.h"
 #include "util/timer.h"
 
 namespace fbist::campaign {
@@ -231,12 +235,55 @@ CheckpointRecord checkpoint_from_string(const std::string& text) {
   return read_checkpoint(ss);
 }
 
+namespace {
+
+/// True when `pid` names a live process: kill(pid, 0) probes existence
+/// without signalling (EPERM still means "exists, not ours").
+bool pid_alive(long pid) {
+  if (pid <= 0) return false;
+  return ::kill(static_cast<pid_t>(pid), 0) == 0 || errno == EPERM;
+}
+
+}  // namespace
+
 CheckpointStore::CheckpointStore(std::string dir, const CampaignSpec& spec)
     : dir_(std::move(dir)), hash_(spec_hash(spec)), runs_(spec.expand()) {
   std::error_code ec;
   fs::create_directories(dir_, ec);
   if (!fs::is_directory(dir_, ec)) {
     throw std::runtime_error("checkpoint: cannot create directory " + dir_);
+  }
+  sweep_stale_temps();
+}
+
+void CheckpointStore::sweep_stale_temps() {
+  // A writer killed mid-write leaves "<blob>.ckpt.tmp.<pid>" behind;
+  // load() already ignores temps, but without a sweep they accumulate
+  // forever across kill/resume cycles.  Remove every temp whose writer
+  // pid is dead; a *live* pid (a concurrent shard process sharing the
+  // directory, or ourselves) keeps its temp untouched.
+  std::error_code ec;
+  fs::directory_iterator it(dir_, ec);
+  if (ec) return;
+  const long self = static_cast<long>(::getpid());
+  for (const fs::directory_entry& de : it) {
+    const std::string name = de.path().filename().string();
+    const std::size_t marker = name.find(std::string(kSuffix) + ".tmp.");
+    if (marker == std::string::npos) continue;
+    const std::string pid_part =
+        name.substr(marker + std::string(kSuffix).size() + 5);
+    if (pid_part.empty() ||
+        pid_part.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    const long pid = std::strtol(pid_part.c_str(), nullptr, 10);
+    if (pid == self || pid_alive(pid)) continue;
+    if (fs::remove(de.path(), ec) && !ec) ++stale_removed_;
+  }
+  if (stale_removed_ != 0) {
+    obs::diag(obs::Severity::kInfo, "checkpoint",
+              "swept " + std::to_string(stale_removed_) +
+                  " stale temp file(s) left by dead writers in " + dir_);
   }
 }
 
@@ -255,41 +302,35 @@ void CheckpointStore::write(std::size_t pos, const RunResult& result) {
                              " out of range (spec has " +
                              std::to_string(runs_.size()) + " runs)");
   }
+  // Warn-and-continue degradation: once the breaker tripped (it warned
+  // at trip time, naming the consequence), further writes are silent
+  // no-ops — the sweep's results live only in memory from here on.
+  if (!breaker_.allowed()) return;
+
   CheckpointRecord rec;
   rec.spec = hash_;
   rec.position = pos;
   rec.total_runs = runs_.size();
   rec.result = result;
+  const std::string text = checkpoint_to_string(rec);
 
-  // Temp-then-rename: a crash mid-write leaves only a .tmp file behind
-  // (ignored by load), never a torn .ckpt blob; the pid qualifier keeps
-  // shard processes sharing one directory off each other's temps.
+  // Guarded atomic write ("checkpoint.write"): temp-then-rename — a
+  // crash mid-write leaves only a .tmp file behind (ignored by load,
+  // swept on the next open), never a torn .ckpt blob; the pid
+  // qualifier keeps shard processes sharing one directory off each
+  // other's temps.  Transient failures retry with deterministic
+  // backoff; a give-up throws (the runner warns and continues) and
+  // charges the breaker.
   const std::string final_path = blob_path(pos);
-  const std::string tmp_path =
-      final_path + ".tmp." + std::to_string(::getpid());
-  {
-    std::ofstream out(tmp_path);
-    if (!out) {
-      throw std::runtime_error("checkpoint: cannot write " + tmp_path);
-    }
-    write_checkpoint(rec, out);
-    out.flush();
-    if (!out) {
-      std::error_code ec;
-      fs::remove(tmp_path, ec);
-      throw std::runtime_error("checkpoint: short write to " + tmp_path);
-    }
-#if FBIST_OBSERVABILITY
-    const auto end = out.tellp();
-    if (end > 0) OBS_COUNT(c_bytes, static_cast<std::uint64_t>(end));
-#endif
+  try {
+    util::io::write_file_atomic("checkpoint.write", final_path, text);
+  } catch (const util::io::IoError& e) {
+    breaker_.record_failure();
+    throw std::runtime_error("checkpoint: cannot write " + final_path + ": " +
+                             e.what());
   }
-  std::error_code ec;
-  fs::rename(tmp_path, final_path, ec);
-  if (ec) {
-    fs::remove(tmp_path, ec);
-    throw std::runtime_error("checkpoint: cannot rename into " + final_path);
-  }
+  breaker_.record_success();
+  OBS_COUNT(c_bytes, static_cast<std::uint64_t>(text.size()));
   OBS_OBSERVE(h_write, timer.nanos());
   OBS_INSTANT("checkpoint_write");
   std::lock_guard<std::mutex> lock(mu_);
@@ -306,9 +347,10 @@ std::unordered_map<std::size_t, RunResult> CheckpointStore::load() {
     if (p.extension() != kSuffix) continue;
     CheckpointRecord rec;
     try {
-      std::ifstream in(p.string());
-      if (!in) throw std::runtime_error("cannot open");
-      rec = read_checkpoint(in);
+      // Guarded read ("checkpoint.read"): transient read failures —
+      // real or injected — retry before the blob is declared corrupt.
+      rec = checkpoint_from_string(
+          util::io::read_file("checkpoint.read", p.string()));
     } catch (const std::runtime_error& e) {
       // Torn or unreadable blob: its run re-executes and the rewrite
       // replaces the file.  Loud but non-fatal.
@@ -375,10 +417,12 @@ Report merge_checkpoints(const CampaignSpec& spec,
   report.runs.resize(runs.size());
   std::vector<bool> have(runs.size(), false);
   std::uint64_t corrupt = 0;
+  std::uint64_t stale = 0;
   for (const std::string& dir : dirs) {
     CheckpointStore store(dir, spec);
     std::unordered_map<std::size_t, RunResult> got = store.load();
     corrupt += store.corrupt();
+    stale += store.stale_tmp_removed();
     for (auto& [pos, result] : got) {
       // Shards may overlap (a re-run shard, a shared directory given
       // twice); blob content is deterministic, so the first valid one
@@ -409,6 +453,7 @@ Report merge_checkpoints(const CampaignSpec& spec,
   report.checkpoint.enabled = true;
   report.checkpoint.resumed = runs.size();
   report.checkpoint.corrupt = corrupt;
+  report.checkpoint.stale_tmp_removed = stale;
   return report;
 }
 

@@ -44,6 +44,7 @@
 
 #include "campaign/report.h"
 #include "campaign/spec.h"
+#include "util/breaker.h"
 
 namespace fbist::campaign {
 
@@ -80,6 +81,10 @@ class CheckpointStore {
   /// Opens `dir` (creating it if needed) for a spec whose canonical
   /// expansion is `runs` (the full expansion, not a shard's slice).
   /// Throws std::runtime_error when the directory cannot be created.
+  /// Opening also sweeps stale `*.ckpt.tmp.<pid>` files left behind by
+  /// killed writers — temps whose pid is dead (and not ours) are
+  /// removed and counted; without the sweep they accumulate forever
+  /// across kill/resume cycles.
   CheckpointStore(std::string dir, const CampaignSpec& spec);
 
   const std::string& dir() const { return dir_; }
@@ -103,18 +108,32 @@ class CheckpointStore {
   /// Blobs written by this store / corrupt blobs skipped by load().
   std::uint64_t written() const;
   std::uint64_t corrupt() const;
+  /// Stale dead-writer temp files removed by the opening sweep.
+  std::uint64_t stale_tmp_removed() const { return stale_removed_; }
+
+  /// True once repeated write failures tripped the breaker and
+  /// checkpointing degraded to warn-and-continue: later write() calls
+  /// are silent no-ops, durability is lost, the sweep completes.
+  bool degraded() const { return breaker_.tripped(); }
 
   /// Path of position `pos`'s blob (run-<pos>.ckpt inside dir).
   std::string blob_path(std::size_t pos) const;
 
  private:
+  void sweep_stale_temps();
+
   std::string dir_;
   std::uint64_t hash_ = 0;
   std::vector<RunSpec> runs_;  // full canonical expansion
+  std::uint64_t stale_removed_ = 0;  // set once, in the constructor
 
   mutable std::mutex mu_;
   std::uint64_t written_ = 0;
   std::uint64_t corrupt_ = 0;
+
+  /// Trips after consecutive write give-ups; see degraded().
+  util::CircuitBreaker breaker_{
+      "checkpoint store", "checkpointing disabled, durability lost"};
 };
 
 /// Folds the checkpoint sets under `dirs` into the complete report of

@@ -127,6 +127,8 @@ std::string Report::to_json(bool include_timing) const {
       w.value(checkpoint.written);
       w.key("corrupt");
       w.value(checkpoint.corrupt);
+      w.key("stale_tmp_removed");
+      w.value(checkpoint.stale_tmp_removed);
       w.end_object();
     }
     if (shard_count > 1) {

@@ -86,6 +86,7 @@ struct Report {
     std::uint64_t executed = 0;  // runs executed by this process
     std::uint64_t written = 0;   // blobs written by this process
     std::uint64_t corrupt = 0;   // unreadable blobs skipped (re-executed)
+    std::uint64_t stale_tmp_removed = 0;  // dead-writer temps swept on open
   };
   CheckpointStats checkpoint;
 

@@ -1,7 +1,6 @@
 #include "campaign/runner.h"
 
 #include <exception>
-#include <fstream>
 #include <map>
 #include <unordered_map>
 
@@ -11,6 +10,8 @@
 #include "obs/trace.h"
 #include "reseed/matrix_cache.h"
 #include "reseed/serialize.h"
+#include "util/deadline.h"
+#include "util/guarded_io.h"
 #include "util/timer.h"
 
 namespace fbist::campaign {
@@ -26,7 +27,8 @@ struct CircuitCtx {
   std::string error;
 };
 
-void execute_run(const CircuitCtx& ctx, RunResult& out) {
+void execute_run(const CircuitCtx& ctx, RunResult& out,
+                 std::uint64_t timeout_ms) {
   OBS_SPAN("run", run_label(out.spec));
   util::Timer timer;
   if (ctx.prepared == nullptr) {
@@ -34,12 +36,21 @@ void execute_run(const CircuitCtx& ctx, RunResult& out) {
     out.error = "circuit preparation failed: " + ctx.error;
     return;
   }
+  // Arm the per-run deadline (0 disables).  On expiry the pipeline
+  // throws util::TimeoutError from whatever stage noticed first; the
+  // catch below rewrites it into a canonical message that names only
+  // the configured budget — never the elapsed time or the stage — so
+  // a timed-out run's report and checkpoint content is deterministic.
+  const util::Deadline deadline = timeout_ms == 0
+                                      ? util::Deadline()
+                                      : util::Deadline::after_ms(timeout_ms);
   try {
     const reseed::Pipeline& p = *ctx.prepared;
     reseed::OptimizerOptions oopt = p.options().optimizer;
     oopt.solver = out.spec.solver;
     const reseed::ReseedingSolution sol =
-        p.run(out.spec.tpg, out.spec.cycles, oopt);
+        p.run(out.spec.tpg, out.spec.cycles, oopt,
+              deadline.armed() ? &deadline : nullptr);
 
     out.circuit_inputs = p.circuit().num_inputs();
     out.circuit_gates = p.circuit().num_gates();
@@ -57,6 +68,10 @@ void execute_run(const CircuitCtx& ctx, RunResult& out) {
                                         p.circuit().num_inputs())
                        .rom_bits();
     out.ok = true;
+  } catch (const util::TimeoutError&) {
+    out.ok = false;
+    out.error =
+        "run timeout: exceeded " + std::to_string(timeout_ms) + " ms";
   } catch (const std::exception& e) {
     out.ok = false;
     out.error = e.what();
@@ -81,17 +96,18 @@ void checkpoint_run(CheckpointStore& store, std::size_t pos,
   }
 }
 
-/// Writes an observability artifact (trace / metrics JSON).  Like
-/// checkpointing, these are byproducts: an unwritable path warns
-/// instead of failing the finished campaign.
-void write_artifact(const std::string& path, const std::string& payload,
-                    const char* what) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  out.write(payload.data(),
-            static_cast<std::streamsize>(payload.size()));
-  if (!out) {
+/// Writes an observability artifact (trace / metrics JSON) through the
+/// guarded I/O layer (atomic write, transient retries, failpoint at
+/// `site`).  Like checkpointing, these are byproducts: an unwritable
+/// path warns instead of failing the finished campaign.
+void write_artifact(const char* site, const std::string& path,
+                    const std::string& payload, const char* what) {
+  try {
+    util::io::write_file_atomic(site, path, payload);
+  } catch (const util::io::IoError& e) {
     obs::diag(obs::Severity::kWarn, "obs",
-              std::string("cannot write ") + what + " file " + path);
+              std::string("cannot write ") + what + " file " + path + ": " +
+                  e.what());
   }
 }
 
@@ -154,6 +170,7 @@ Report run_campaign(const CampaignSpec& spec, const CampaignOptions& opts,
     }
     report.checkpoint.enabled = true;
     report.checkpoint.corrupt = store->corrupt();
+    report.checkpoint.stale_tmp_removed = store->stale_tmp_removed();
   }
 
   // Distinct circuits over the *pending* runs, first-appearance order;
@@ -187,8 +204,10 @@ Report run_campaign(const CampaignSpec& spec, const CampaignOptions& opts,
   // report positions and disjoint files, so neither step takes a shared
   // lock.
   TaskGroup group(*s);
+  const std::uint64_t timeout_ms = opts.run_timeout_ms;
   for (CircuitCtx& ctx : circuits) {
-    group.run([&group, &report, &ctx, &popts, &store, &positions] {
+    group.run([&group, &report, &ctx, &popts, &store, &positions,
+               timeout_ms] {
       try {
         OBS_SPAN("prepare", ctx.name);
         ctx.prepared = reseed::Pipeline::prepare(load_circuit(ctx.name),
@@ -199,8 +218,8 @@ Report run_campaign(const CampaignSpec& spec, const CampaignOptions& opts,
         ctx.error = "unknown error";
       }
       for (const std::size_t rid : ctx.run_ids) {
-        group.run([&ctx, &report, &store, &positions, rid] {
-          execute_run(ctx, report.runs[rid]);
+        group.run([&ctx, &report, &store, &positions, rid, timeout_ms] {
+          execute_run(ctx, report.runs[rid], timeout_ms);
           if (store != nullptr) {
             checkpoint_run(*store, positions[rid], report.runs[rid]);
           }
@@ -229,11 +248,12 @@ Report run_campaign(const CampaignSpec& spec, const CampaignOptions& opts,
   report.metrics_enabled = true;
   if (tracing) {
     tracer.disable();
-    write_artifact(opts.trace_file, tracer.to_chrome_json(), "trace");
+    write_artifact("trace.write", opts.trace_file, tracer.to_chrome_json(),
+                   "trace");
   }
   if (!opts.metrics_file.empty()) {
-    write_artifact(opts.metrics_file, obs::metrics_to_json(report.metrics),
-                   "metrics");
+    write_artifact("metrics.write", opts.metrics_file,
+                   obs::metrics_to_json(report.metrics), "metrics");
   }
   return report;
 }

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 
 #include "campaign/report.h"
@@ -79,6 +80,14 @@ struct CampaignOptions {
   /// execution section (Report::metrics).  Neither artifact perturbs
   /// the canonical report bytes.
   std::string metrics_file;
+
+  /// Per-run wall-clock budget in milliseconds (`--run-timeout MS`);
+  /// 0 disables.  Each run arms a util::Deadline polled cooperatively
+  /// through the builder, optimizer and exact solver; an expired run
+  /// records the canonical failure "run timeout: exceeded <MS> ms" —
+  /// deterministic content, no elapsed time, no stage — checkpoints
+  /// like any other failed run, and the rest of the sweep continues.
+  std::uint64_t run_timeout_ms = 0;
 };
 
 /// Executes the spec and returns the filled report.  Uses the global

@@ -1,11 +1,11 @@
 #include "campaign/spec.h"
 
-#include <fstream>
 #include <sstream>
 #include <stdexcept>
 
 #include "circuits/registry.h"
 #include "netlist/bench_io.h"
+#include "util/guarded_io.h"
 
 namespace fbist::campaign {
 
@@ -146,9 +146,65 @@ CampaignSpec parse_spec_string(const std::string& text) {
 }
 
 CampaignSpec parse_spec_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open campaign spec: " + path);
-  return parse_spec(in);
+  std::string text;
+  try {
+    text = util::io::read_file("spec.read", path);
+  } catch (const util::io::IoError& e) {
+    throw std::runtime_error("cannot read campaign spec " + path + ": " +
+                             e.what());
+  }
+  return parse_spec_string(text);
+}
+
+std::pair<std::size_t, std::size_t> parse_shard_arg(const std::string& arg) {
+  const auto fail = [&](const std::string& why) -> std::runtime_error {
+    return std::runtime_error("--shard: " + why + " (got '" + arg +
+                              "'; expected I/N with 1 <= I <= N, e.g. "
+                              "--shard 2/3)");
+  };
+  const std::size_t slash = arg.find('/');
+  if (slash == std::string::npos || slash == 0 || slash + 1 >= arg.size()) {
+    throw fail("malformed shard");
+  }
+  const std::string i_part = arg.substr(0, slash);
+  const std::string n_part = arg.substr(slash + 1);
+  if (i_part.find_first_not_of("0123456789") != std::string::npos ||
+      n_part.find_first_not_of("0123456789") != std::string::npos) {
+    throw fail("shard index and count must be positive integers");
+  }
+  unsigned long i = 0, n = 0;
+  try {
+    i = std::stoul(i_part);
+    n = std::stoul(n_part);
+  } catch (const std::exception&) {
+    throw fail("shard index or count out of range");
+  }
+  if (n == 0) throw fail("shard count must be >= 1");
+  if (i == 0) throw fail("shard index is 1-based; use 1/N for the first shard");
+  if (i > n) {
+    throw fail("shard index " + std::to_string(i) + " out of range for " +
+               std::to_string(n) + " shards");
+  }
+  return {static_cast<std::size_t>(i - 1), static_cast<std::size_t>(n)};
+}
+
+std::uint64_t parse_run_timeout_arg(const std::string& arg) {
+  const auto fail = [&]() -> std::runtime_error {
+    return std::runtime_error(
+        "--run-timeout: expected a positive integer millisecond count, got '" +
+        arg + "'");
+  };
+  if (arg.empty() || arg.find_first_not_of("0123456789") != std::string::npos) {
+    throw fail();  // rejects negatives, junk, and embedded signs
+  }
+  unsigned long long v = 0;
+  try {
+    v = std::stoull(arg);
+  } catch (const std::exception&) {
+    throw fail();
+  }
+  if (v == 0) throw fail();
+  return static_cast<std::uint64_t>(v);
 }
 
 bool is_bench_path(const std::string& arg) {

@@ -19,8 +19,10 @@
 // append.  Defaults: tpgs=adder, cycles=64, solvers=exact.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "netlist/netlist.h"
@@ -77,7 +79,21 @@ const char* solver_name(reseed::SolverChoice s);
 /// line-numbered message on malformed input.
 CampaignSpec parse_spec(std::istream& in);
 CampaignSpec parse_spec_string(const std::string& text);
+/// File variant reads through the guarded I/O layer ("spec.read"
+/// failpoint; transient read failures retry before giving up).
 CampaignSpec parse_spec_file(const std::string& path);
+
+/// Parses a `--shard I/N` argument (1-based index) into the 0-based
+/// (index, count) pair CampaignOptions carries.  Throws
+/// std::runtime_error with a message naming the expected form and the
+/// specific violation: zero count, zero index (it is 1-based), index
+/// out of range, or unparsable input.
+std::pair<std::size_t, std::size_t> parse_shard_arg(const std::string& arg);
+
+/// Parses a `--run-timeout MS` argument: a positive integer
+/// millisecond count.  Throws std::runtime_error on zero, negative or
+/// non-numeric input, naming what was expected.
+std::uint64_t parse_run_timeout_arg(const std::string& arg);
 
 /// True when `arg` names a .bench file rather than a registry circuit.
 bool is_bench_path(const std::string& arg);

@@ -12,6 +12,7 @@ namespace {
 struct Search {
   const DetectionMatrix* m;
   std::size_t node_budget;
+  const util::Deadline* deadline = nullptr;
   std::size_t nodes = 0;
   bool budget_exhausted = false;
 
@@ -53,6 +54,10 @@ void branch(Search& s, const util::BitVector& uncovered) {
   if (++s.nodes > s.node_budget) {
     s.budget_exhausted = true;
     return;
+  }
+  // Deadline poll, amortized: one clock read per 4096 nodes.
+  if (s.deadline != nullptr && (s.nodes & 4095u) == 0) {
+    s.deadline->check("exact cover solve");
   }
 
   if (uncovered.none()) {
@@ -117,6 +122,7 @@ CoverSolution solve_exact(const DetectionMatrix& m, const ExactOptions& opts) {
   Search s;
   s.m = &m;
   s.node_budget = opts.node_budget;
+  s.deadline = opts.deadline;
   s.best = greedy.rows;
 
   s.rows_covering.assign(m.num_cols(), {});

@@ -18,11 +18,19 @@
 #pragma once
 
 #include "cover/solver.h"
+#include "util/deadline.h"
 
 namespace fbist::cover {
 
 struct ExactOptions {
   std::size_t node_budget = 2'000'000;
+  /// Optional run deadline, polled every few thousand nodes.  Unlike
+  /// the node budget (which returns the incumbent — a deterministic
+  /// result), expiry throws util::TimeoutError: a wall-clock cutoff
+  /// lands at a timing-dependent node, so any incumbent it returned
+  /// would be timing-dependent content.  The campaign runner converts
+  /// the throw into a canonical timeout failure instead.
+  const util::Deadline* deadline = nullptr;
 };
 
 /// Minimum-cardinality cover of all columns of `m`.

@@ -23,10 +23,14 @@ class Clock {
   /// Nanoseconds since the process-local epoch (monotonic, never
   /// adjusted).  First caller pins the epoch.
   static std::uint64_t now_ns() {
+    // Pin the epoch BEFORE sampling: on the very first call the static
+    // epoch initialises after a `now()` taken first would have, making
+    // t - epoch() a few ns negative — and the uint64 cast would turn
+    // that into an astronomically large timestamp.
+    const auto t0 = epoch();
     const auto t = std::chrono::steady_clock::now();
     return static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(t - epoch())
-            .count());
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t - t0).count());
   }
 
   static double to_ms(std::uint64_t ns) {

@@ -19,6 +19,7 @@
 #include "sim/pattern.h"
 #include "tpg/tpg.h"
 #include "tpg/triplet.h"
+#include "util/deadline.h"
 #include "util/rng.h"
 
 namespace fbist::reseed {
@@ -58,10 +59,14 @@ std::vector<tpg::Triplet> make_candidate_triplets(
 /// looked up under its content key first and stored after a build —
 /// sweeps varying only solver/optimizer options then skip the fault
 /// simulator entirely.  Cached and freshly built results are identical.
+/// An armed `deadline` is polled between packings (each packing is one
+/// bounded PPSFP walk); expiry throws util::TimeoutError before any
+/// partial matrix can reach the cache.
 InitialReseeding build_initial_reseeding(const sim::FaultSim& fsim,
                                          const tpg::Tpg& tpg,
                                          const sim::PatternSet& atpg_patterns,
                                          const BuilderOptions& opts = {},
-                                         MatrixCache* cache = nullptr);
+                                         MatrixCache* cache = nullptr,
+                                         const util::Deadline* deadline = nullptr);
 
 }  // namespace fbist::reseed

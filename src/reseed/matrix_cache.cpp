@@ -12,6 +12,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "reseed/serialize.h"
+#include "util/guarded_io.h"
 #include "util/timer.h"
 
 namespace fbist::reseed {
@@ -141,40 +142,59 @@ std::shared_ptr<const cover::DetectionMatrix> MatrixCache::lookup(Key k) {
     }
   }
   // Disk tier, read outside the lock (file I/O may be slow and the
-  // result is immutable either way).
-  if (!opts_.dir.empty()) {
+  // result is immutable either way).  Reads go through the guarded I/O
+  // layer — transient failures (or injected ones, "cache.disk_read")
+  // retry with backoff; repeated give-ups trip the breaker and the
+  // tier turns off.  A blob that *reads* but does not *parse* is a
+  // content problem, not a disk problem: it degrades to a miss without
+  // charging the breaker, and the rebuild's store overwrites it.
+  if (!opts_.dir.empty() && disk_breaker_.allowed()) {
     const std::string path = disk_path(k);
     std::error_code ec;
     if (fs::exists(path, ec)) {
+      std::string text;
+      bool read_ok = false;
       try {
-        auto m = std::make_shared<cover::DetectionMatrix>(
-            read_matrix_file(path));
-        std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.hits;
-        ++stats_.disk_hits;
-        OBS_INSTANT("disk_hit");
-        OBS_OBSERVE(h_disk_hit, timer.nanos());
-        const auto it = index_.find(k);  // raced promotion: reuse theirs
-        if (it != index_.end()) {
-          lru_.splice(lru_.begin(), lru_, it->second);
-          return it->second->matrix;
-        }
-        if (opts_.max_memory_entries > 0) {
-          lru_.push_front(Entry{k, m});
-          index_[k] = lru_.begin();
-          while (lru_.size() > opts_.max_memory_entries) {
-            index_.erase(lru_.back().key);
-            lru_.pop_back();
-            ++stats_.evictions;
-          }
-        }
-        return m;
-      } catch (const std::runtime_error& e) {
-        // Unreadable or future-version blob: fall through to a miss;
-        // the rebuild's store overwrites it.
+        text = util::io::read_file("cache.disk_read", path);
+        read_ok = true;
+        disk_breaker_.record_success();
+      } catch (const util::io::IoError& e) {
+        disk_breaker_.record_failure();
         obs::diag(obs::Severity::kWarn, "matrix_cache",
-                  "unreadable blob " + path + " (" + e.what() +
+                  "cannot read blob " + path + " (" + e.what() +
                       "), rebuilding");
+      }
+      if (read_ok) {
+        try {
+          auto m = std::make_shared<cover::DetectionMatrix>(
+              matrix_from_string(text));
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.hits;
+          ++stats_.disk_hits;
+          OBS_INSTANT("disk_hit");
+          OBS_OBSERVE(h_disk_hit, timer.nanos());
+          const auto it = index_.find(k);  // raced promotion: reuse theirs
+          if (it != index_.end()) {
+            lru_.splice(lru_.begin(), lru_, it->second);
+            return it->second->matrix;
+          }
+          if (opts_.max_memory_entries > 0) {
+            lru_.push_front(Entry{k, m});
+            index_[k] = lru_.begin();
+            while (lru_.size() > opts_.max_memory_entries) {
+              index_.erase(lru_.back().key);
+              lru_.pop_back();
+              ++stats_.evictions;
+            }
+          }
+          return m;
+        } catch (const std::runtime_error& e) {
+          // Corrupt or future-version blob: fall through to a miss;
+          // the rebuild's store overwrites it.
+          obs::diag(obs::Severity::kWarn, "matrix_cache",
+                    "unreadable blob " + path + " (" + e.what() +
+                        "), rebuilding");
+        }
       }
     }
   }
@@ -208,28 +228,29 @@ void MatrixCache::store(Key k, std::shared_ptr<const cover::DetectionMatrix> m) 
       }
     }
   }
-  if (!write_disk) {
+  if (!write_disk || !disk_breaker_.allowed()) {
     OBS_OBSERVE(h_store, timer.nanos());
     return;
   }
-  // Temp-then-rename keeps concurrent readers off torn files; the
-  // temp name is pid-qualified so concurrent processes do not collide.
+  // Guarded atomic write ("cache.disk_write"): temp-then-rename keeps
+  // concurrent readers off torn files (pid-qualified temp name, so
+  // concurrent processes do not collide), transient failures retry
+  // with backoff, and a give-up only costs durability — the disk tier
+  // is best-effort, so an unwritable directory degrades the cache to
+  // memory-only rather than failing the build.  Repeated give-ups trip
+  // the breaker and later stores skip the disk entirely.
   std::error_code ec;
   fs::create_directories(opts_.dir, ec);
   const std::string final_path = disk_path(k);
-  const std::string tmp_path =
-      final_path + ".tmp." + std::to_string(::getpid());
   try {
-    write_matrix_file(*m, tmp_path);
-    fs::rename(tmp_path, final_path, ec);
-    if (ec) fs::remove(tmp_path, ec);
-  } catch (const std::runtime_error& e) {
-    // Disk tier is best-effort: an unwritable directory degrades the
-    // cache to memory-only rather than failing the build.
+    util::io::write_file_atomic("cache.disk_write", final_path,
+                                matrix_to_string(*m));
+    disk_breaker_.record_success();
+  } catch (const util::io::IoError& e) {
+    disk_breaker_.record_failure();
     obs::diag(obs::Severity::kWarn, "matrix_cache",
               "cannot persist blob " + final_path + " (" + e.what() +
                   "), memory tier only");
-    fs::remove(tmp_path, ec);
   }
   OBS_OBSERVE(h_store, timer.nanos());
 }

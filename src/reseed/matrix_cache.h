@@ -36,6 +36,7 @@
 #include "netlist/compiled.h"
 #include "tpg/tpg.h"
 #include "tpg/triplet.h"
+#include "util/breaker.h"
 
 namespace fbist::reseed {
 
@@ -86,6 +87,11 @@ class MatrixCache {
   MatrixCacheStats stats() const;
   const MatrixCacheOptions& options() const { return opts_; }
 
+  /// True once repeated disk-tier failures tripped the breaker and the
+  /// cache degraded to memory-only (reads and writes skip the disk for
+  /// the rest of the process; results are unaffected, only reuse is).
+  bool disk_degraded() const { return disk_breaker_.tripped(); }
+
   /// One on-disk entry, for `fbist cache list`.
   struct DiskEntry {
     Key key = 0;
@@ -116,6 +122,11 @@ class MatrixCache {
   std::list<Entry> lru_;  // front = most recently used
   std::unordered_map<Key, std::list<Entry>::iterator> index_;
   MatrixCacheStats stats_;
+
+  /// Trips after consecutive disk-tier I/O failures (reads or writes);
+  /// a tripped breaker turns the disk tier off for this process.
+  util::CircuitBreaker disk_breaker_{
+      "matrix-cache disk tier", "cache degrades to memory-only"};
 };
 
 }  // namespace fbist::reseed

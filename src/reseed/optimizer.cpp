@@ -30,12 +30,19 @@ std::pair<cover::DetectionMatrix, std::vector<std::size_t>> coverable_submatrix(
 }  // namespace
 
 ReseedingSolution optimize(const InitialReseeding& initial,
-                           const OptimizerOptions& opts) {
+                           const OptimizerOptions& opts,
+                           const util::Deadline* deadline) {
   ReseedingSolution sol;
   const cover::DetectionMatrix& full = initial.matrix;
   sol.initial_rows = full.num_rows();
   sol.initial_cols = full.num_cols();
   sol.faults_uncoverable = initial.uncovered_faults.size();
+
+  // Cooperative deadline: polled between stages here, and every few
+  // thousand nodes inside solve_exact (the only open-ended stage).
+  cover::ExactOptions exact = opts.exact;
+  if (deadline != nullptr) exact.deadline = deadline;
+  if (deadline != nullptr) deadline->check("optimizer");
 
   auto [work, col_map] = coverable_submatrix(full);
   sol.faults_targeted = work.num_cols();
@@ -48,7 +55,7 @@ ReseedingSolution optimize(const InitialReseeding& initial,
     sol.residual_rows = work.num_rows();
     sol.residual_cols = work.num_cols();
     const cover::CoverSolution cs = opts.solver == SolverChoice::kExact
-                                        ? cover::solve_exact(work, opts.exact)
+                                        ? cover::solve_exact(work, exact)
                                         : cover::solve_greedy(work);
     if (!cs.feasible) throw std::runtime_error("optimize: solver infeasible");
     for (const std::size_t r : cs.rows) {
@@ -60,6 +67,7 @@ ReseedingSolution optimize(const InitialReseeding& initial,
     sol.solver_optimal = cs.proven_optimal;
   } else {
     const cover::ReductionResult red = cover::reduce(work, opts.reduce);
+    if (deadline != nullptr) deadline->check("optimizer");
     sol.reduction_iterations = red.iterations;
     sol.residual_rows = red.residual_rows.size();
     sol.residual_cols = red.residual_cols.size();
@@ -72,7 +80,7 @@ ReseedingSolution optimize(const InitialReseeding& initial,
     if (!red.residual_empty()) {
       const cover::CoverSolution cs =
           opts.solver == SolverChoice::kExact
-              ? cover::solve_exact(red.residual, opts.exact)
+              ? cover::solve_exact(red.residual, exact)
               : cover::solve_greedy(red.residual);
       if (!cs.feasible) throw std::runtime_error("optimize: solver infeasible");
       for (const std::size_t rr : cs.rows) {

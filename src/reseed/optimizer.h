@@ -69,9 +69,11 @@ struct ReseedingSolution {
 };
 
 /// Runs reduction + exact/greedy covering on `initial` and assembles the
-/// final trimmed solution.
+/// final trimmed solution.  An armed `deadline` is polled between stages
+/// and inside the exact solver; expiry throws util::TimeoutError.
 ReseedingSolution optimize(const InitialReseeding& initial,
-                           const OptimizerOptions& opts = {});
+                           const OptimizerOptions& opts = {},
+                           const util::Deadline* deadline = nullptr);
 
 /// Checks the paper's minimality definition: every selected triplet
 /// detects at least one targeted fault no other selected triplet covers.

@@ -80,9 +80,11 @@ void Pipeline::init() {
 
 std::pair<InitialReseeding, ReseedingSolution> Pipeline::run_detailed(
     tpg::TpgKind kind, std::size_t cycles,
-    const OptimizerOptions& optimizer) const {
+    const OptimizerOptions& optimizer,
+    const util::Deadline* deadline) const {
   OBS_HISTOGRAM(h_build, "pipeline.matrix_build_ns");
   OBS_HISTOGRAM(h_solve, "pipeline.cover_solve_ns");
+  if (deadline != nullptr) deadline->check("pipeline");
   const auto tpg = tpg::make_tpg(kind, nl_.num_inputs());
   BuilderOptions b = opts_.builder;
   if (cycles != 0) b.cycles_per_triplet = cycles;
@@ -92,14 +94,14 @@ std::pair<InitialReseeding, ReseedingSolution> Pipeline::run_detailed(
     OBS_SPAN("matrix_build", name_);
     util::Timer t;
     initial = build_initial_reseeding(*fsim_, *tpg, atpg_.patterns, b,
-                                      opts_.matrix_cache.get());
+                                      opts_.matrix_cache.get(), deadline);
     OBS_OBSERVE(h_build, t.nanos());
   }
   ReseedingSolution sol;
   {
     OBS_SPAN("cover_solve", name_);
     util::Timer t;
-    sol = optimize(initial, optimizer);
+    sol = optimize(initial, optimizer, deadline);
     OBS_OBSERVE(h_solve, t.nanos());
   }
   return {std::move(initial), std::move(sol)};
@@ -111,8 +113,9 @@ std::pair<InitialReseeding, ReseedingSolution> Pipeline::run_detailed(
 }
 
 ReseedingSolution Pipeline::run(tpg::TpgKind kind, std::size_t cycles,
-                                const OptimizerOptions& optimizer) const {
-  return run_detailed(kind, cycles, optimizer).second;
+                                const OptimizerOptions& optimizer,
+                                const util::Deadline* deadline) const {
+  return run_detailed(kind, cycles, optimizer, deadline).second;
 }
 
 ReseedingSolution Pipeline::run(tpg::TpgKind kind, std::size_t cycles) const {

@@ -69,9 +69,13 @@ class Pipeline {
   ReseedingSolution run(tpg::TpgKind kind, std::size_t cycles = 0) const;
 
   /// Like run(), but with per-run optimizer options (campaigns cross
-  /// solver choices without re-preparing the circuit).
+  /// solver choices without re-preparing the circuit).  An armed
+  /// `deadline` is polled cooperatively through the builder, optimizer,
+  /// and exact solver; expiry throws util::TimeoutError (the campaign
+  /// runner turns it into a canonical timeout failure).
   ReseedingSolution run(tpg::TpgKind kind, std::size_t cycles,
-                        const OptimizerOptions& optimizer) const;
+                        const OptimizerOptions& optimizer,
+                        const util::Deadline* deadline = nullptr) const;
 
   /// Like run(), but also returns the initial reseeding (for benches
   /// that inspect the matrix itself).
@@ -79,7 +83,8 @@ class Pipeline {
       tpg::TpgKind kind, std::size_t cycles = 0) const;
   std::pair<InitialReseeding, ReseedingSolution> run_detailed(
       tpg::TpgKind kind, std::size_t cycles,
-      const OptimizerOptions& optimizer) const;
+      const OptimizerOptions& optimizer,
+      const util::Deadline* deadline = nullptr) const;
 
   const std::string& name() const { return name_; }
   const netlist::Netlist& circuit() const { return nl_; }

@@ -1,0 +1,33 @@
+#include "util/breaker.h"
+
+#include <utility>
+
+#include "obs/diag.h"
+#include "obs/metrics.h"
+
+namespace fbist::util {
+
+CircuitBreaker::CircuitBreaker(std::string name, std::string degradation,
+                               int threshold)
+    : name_(std::move(name)),
+      degradation_(std::move(degradation)),
+      threshold_(threshold) {}
+
+void CircuitBreaker::record_success() {
+  if (!tripped()) {
+    consecutive_.store(0, std::memory_order_relaxed);
+  }
+}
+
+void CircuitBreaker::record_failure() {
+  const int n = consecutive_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (n >= threshold_ && !tripped_.exchange(true)) {
+    OBS_COUNTER(c_tripped, "breaker.tripped");
+    OBS_COUNT(c_tripped, 1);
+    obs::diag(obs::Severity::kWarn, "breaker",
+              name_ + ": tripped after " + std::to_string(n) +
+                  " consecutive failures — " + degradation_);
+  }
+}
+
+}  // namespace fbist::util

@@ -1,0 +1,190 @@
+#include "util/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace fbist::util::failpoint {
+namespace {
+
+/// Every test leaves the process-global registry disarmed, so the rest
+/// of the suite (and other files' campaign tests) never see leftover
+/// injection.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { clear(); }
+  void TearDown() override { clear(); }
+};
+
+/// Evaluates `site` and returns whether it fired with an error.
+bool fires_once(const char* site) {
+  try {
+    eval(site);
+    return false;
+  } catch (const InjectedError&) {
+    return true;
+  }
+}
+
+TEST_F(FailpointTest, KnownSitesAreSortedAndCoverTheDurableIoPaths) {
+  const std::vector<std::string>& sites = known_sites();
+  ASSERT_FALSE(sites.empty());
+  EXPECT_TRUE(std::is_sorted(sites.begin(), sites.end()));
+  // The sites the hardened stack is built around must all be present.
+  for (const char* s :
+       {"builder.pack", "cache.disk_read", "cache.disk_write",
+        "checkpoint.read", "checkpoint.write", "metrics.write",
+        "report.write", "spec.read", "trace.write"}) {
+    EXPECT_NE(std::find(sites.begin(), sites.end(), s), sites.end()) << s;
+  }
+}
+
+TEST_F(FailpointTest, MalformedSpecsAreRejectedNamingEveryValidForm) {
+  const std::vector<std::string> bad = {
+      "garbage",                        // no site=action
+      "=err(1)",                        // empty site
+      "spec.read=",                     // empty action
+      "spec.read=explode(1)",           // unknown action
+      "spec.read=err",                  // missing parens
+      "spec.read=err(1",                // unbalanced parens
+      "spec.read=err()",                // missing probability
+      "spec.read=err(1,2,3,4)",         // too many args
+      "spec.read=err(nope)",            // non-numeric probability
+      "spec.read=err(1.5)",             // p > 1
+      "spec.read=err(-0.1)",            // p < 0
+      "spec.read=err(1,x)",             // non-numeric seed
+      "spec.read=delay()",              // missing ms
+      "no.such.site=err(1)",            // unknown site
+      "spec.read=err(1);spec.read=off", // duplicate site
+  };
+  for (const std::string& spec : bad) {
+    try {
+      configure(spec);
+      FAIL() << "accepted: " << spec;
+    } catch (const std::runtime_error& e) {
+      const std::string msg = e.what();
+      // Every rejection teaches the full grammar.
+      EXPECT_NE(msg.find("FBIST_FAILPOINTS"), std::string::npos) << spec;
+      EXPECT_NE(msg.find("err(p[,seed[,max]])"), std::string::npos) << spec;
+      EXPECT_NE(msg.find("perm(p[,seed[,max]])"), std::string::npos) << spec;
+      EXPECT_NE(msg.find("enospc(p[,seed[,max]])"), std::string::npos) << spec;
+      EXPECT_NE(msg.find("delay(ms[,max])"), std::string::npos) << spec;
+      EXPECT_NE(msg.find("off"), std::string::npos) << spec;
+    }
+    EXPECT_FALSE(armed()) << "failed configure armed something: " << spec;
+  }
+}
+
+TEST_F(FailpointTest, OffSitesAndClearDisarm) {
+  configure("spec.read=off");
+  EXPECT_FALSE(armed());
+  EXPECT_NO_THROW(eval("spec.read"));
+  configure("spec.read=err(1)");
+  EXPECT_TRUE(armed());
+  clear();
+  EXPECT_FALSE(armed());
+  EXPECT_NO_THROW(eval("spec.read"));
+}
+
+TEST_F(FailpointTest, UnarmedSitesNeverFire) {
+  configure("spec.read=err(1)");
+  // Only the armed site fires; every other known site stays inert.
+  EXPECT_NO_THROW(eval("checkpoint.write"));
+  EXPECT_THROW(eval("spec.read"), InjectedError);
+}
+
+TEST_F(FailpointTest, ErrFiresTransientWithSiteIdentity) {
+  configure("checkpoint.write=err(1,7)");
+  try {
+    eval("checkpoint.write");
+    FAIL() << "err(1) did not fire";
+  } catch (const InjectedError& e) {
+    EXPECT_TRUE(e.transient());
+    EXPECT_EQ(e.site(), "checkpoint.write");
+    EXPECT_NE(std::string(e.what()).find("transient"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("checkpoint.write"),
+              std::string::npos);
+  }
+  EXPECT_EQ(fires("checkpoint.write"), 1u);
+  EXPECT_EQ(injected_count(), 1u);
+}
+
+TEST_F(FailpointTest, PermAndEnospcFirePermanent) {
+  configure("cache.disk_write=perm(1);checkpoint.write=enospc(1)");
+  try {
+    eval("cache.disk_write");
+    FAIL() << "perm(1) did not fire";
+  } catch (const InjectedError& e) {
+    EXPECT_FALSE(e.transient());
+  }
+  try {
+    eval("checkpoint.write");
+    FAIL() << "enospc(1) did not fire";
+  } catch (const InjectedError& e) {
+    EXPECT_FALSE(e.transient());
+    EXPECT_NE(std::string(e.what()).find("No space left on device"),
+              std::string::npos);
+  }
+}
+
+TEST_F(FailpointTest, MaxCapsTotalFires) {
+  // The canonical "transient error, retry recovers" script: exactly
+  // the first two evaluations fail.
+  configure("spec.read=err(1,0,2)");
+  EXPECT_TRUE(fires_once("spec.read"));
+  EXPECT_TRUE(fires_once("spec.read"));
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(fires_once("spec.read"));
+  EXPECT_EQ(fires("spec.read"), 2u);
+}
+
+TEST_F(FailpointTest, FractionalProbabilityIsSeedDeterministic) {
+  const auto pattern = [&](const std::string& spec) {
+    configure(spec);
+    std::vector<bool> fired;
+    fired.reserve(200);
+    for (int i = 0; i < 200; ++i) fired.push_back(fires_once("spec.read"));
+    return fired;
+  };
+  const std::vector<bool> a = pattern("spec.read=err(0.4,42)");
+  const std::vector<bool> b = pattern("spec.read=err(0.4,42)");
+  EXPECT_EQ(a, b);  // same (p, seed, ordinal) -> same decisions
+  // p=0.4 over 200 evaluations fires sometimes but not always.
+  const std::size_t n = std::count(a.begin(), a.end(), true);
+  EXPECT_GT(n, 0u);
+  EXPECT_LT(n, 200u);
+  // A different seed gives a different firing pattern.
+  EXPECT_NE(pattern("spec.read=err(0.4,43)"), a);
+}
+
+TEST_F(FailpointTest, DelayFiresWithoutThrowing) {
+  configure("builder.pack=delay(1,3)");
+  for (int i = 0; i < 5; ++i) EXPECT_NO_THROW(eval("builder.pack"));
+  EXPECT_EQ(fires("builder.pack"), 3u);  // capped by max
+}
+
+TEST_F(FailpointTest, ConfigureFromEnvArmsParsesAndRejects) {
+  ::unsetenv("FBIST_FAILPOINTS");
+  EXPECT_FALSE(configure_from_env());
+
+  ::setenv("FBIST_FAILPOINTS", "spec.read=err(1,0,1)", 1);
+  if (compiled_in()) {
+    EXPECT_TRUE(configure_from_env());
+    EXPECT_TRUE(armed());
+  } else {
+    // Compiled-out builds diagnose and ignore an armed environment.
+    EXPECT_FALSE(configure_from_env());
+    EXPECT_FALSE(armed());
+  }
+
+  if (compiled_in()) {
+    ::setenv("FBIST_FAILPOINTS", "not a spec", 1);
+    EXPECT_THROW(configure_from_env(), std::runtime_error);
+  }
+  ::unsetenv("FBIST_FAILPOINTS");
+}
+
+}  // namespace
+}  // namespace fbist::util::failpoint

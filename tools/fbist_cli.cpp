@@ -34,6 +34,10 @@
 //                            contiguous slices of the canonical run
 //                            order (1-based); shards run on different
 //                            processes/hosts and are folded by `merge`
+//       --run-timeout MS     per-run wall-clock budget; an expired run
+//                            records the canonical failure
+//                            "run timeout: exceeded MS ms", checkpoints
+//                            like any other run, and the sweep continues
 //       --trace FILE         record scoped spans (pipeline stages, per-
 //                            worker tasks, steals, cache/checkpoint
 //                            events) and write a Chrome trace_event
@@ -55,21 +59,29 @@
 //                                            in some DIR; overlap is ok)
 //   cache list|clear <dir>                   inspect / empty a cache dir
 //   cache evict <dir> <key>                  drop one entry (16-hex key)
+//   failpoints                               list fault-injection site names
 //   gen <pi> <po> <gates> <seed>             emit a synthetic .bench to stdout
 //   list                                     registry circuit names
+//
+// Fault injection: set FBIST_FAILPOINTS="site=err(p[,seed[,max]]);..."
+// (see util/failpoint.h for the grammar; `fbist failpoints` lists the
+// sites) to deterministically inject I/O failures and delays at the
+// durable-I/O paths — the chaos CI job drives the whole sweep this way
+// and asserts the report stays byte-identical.
 //
 // Circuit arguments name either a registry benchmark (c432, s1238, ...)
 // or a path to an ISCAS .bench file (sequential files are scan-flattened).
 #include <cstring>
-#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "atpg/scoap.h"
 #include "campaign/checkpoint.h"
 #include "campaign/runner.h"
+#include "obs/diag.h"
 #include "circuits/generator.h"
 #include "circuits/registry.h"
 #include "cover/greedy.h"
@@ -81,6 +93,8 @@
 #include "reseed/report.h"
 #include "reseed/serialize.h"
 #include "reseed/tradeoff.h"
+#include "util/failpoint.h"
+#include "util/guarded_io.h"
 #include "util/table.h"
 
 namespace {
@@ -100,13 +114,16 @@ int usage() {
       "  campaign [spec.txt] [--circuits a,b,c] [--tpgs k1,k2] [--cycles n1,n2]\n"
       "           [--solvers exact|greedy] [--jobs N] [--json FILE] [--timings]\n"
       "           [--cache DIR] [--checkpoint DIR] [--shard I/N]\n"
-      "           [--trace FILE] [--metrics FILE]\n"
+      "           [--run-timeout MS] [--trace FILE] [--metrics FILE]\n"
       "  merge <spec.txt | --circuits ...> --checkpoint DIR [--checkpoint DIR2 ...]\n"
       "        [--json FILE] [--timings]\n"
       "  cache list <dir> | clear <dir> | evict <dir> <key>\n"
+      "  failpoints\n"
       "  gen <pi> <po> <gates> <seed>\n"
       "  list\n"
-      "circuit = registry name (see 'list') or a .bench file path\n";
+      "circuit = registry name (see 'list') or a .bench file path\n"
+      "env FBIST_FAILPOINTS = site=err(p[,seed[,max]]) | perm(...) | enospc(...)\n"
+      "    | delay(ms[,max]) | off, pairs ';'-separated ('failpoints' lists sites)\n";
   return 2;
 }
 
@@ -222,8 +239,10 @@ int cmd_replay(const std::string& arg, const std::string& rom_path) {
   const auto rom = reseed::read_rom_file(rom_path);
   reseed::Pipeline p(load_circuit(arg), arg);
   if (rom.width != p.circuit().num_inputs()) {
-    std::cerr << "ROM width " << rom.width << " != circuit PI count "
-              << p.circuit().num_inputs() << "\n";
+    obs::diag(obs::Severity::kError, "replay",
+              "ROM width " + std::to_string(rom.width) +
+                  " != circuit PI count " +
+                  std::to_string(p.circuit().num_inputs()));
     return 1;
   }
   const auto tpg = tpg::make_tpg(parse_tpg(rom.tpg_name), rom.width);
@@ -276,7 +295,8 @@ int cmd_matrix(const std::string& arg, const Flags& f) {
 int cmd_solve(const std::string& path, const Flags& f) {
   const auto m = cover::read_instance_file(path);
   if (!m.all_columns_coverable()) {
-    std::cerr << "instance has uncoverable columns\n";
+    obs::diag(obs::Severity::kError, "solve",
+              "instance has uncoverable columns");
     return 1;
   }
   if (f.solver == "greedy") {
@@ -374,22 +394,11 @@ CampaignArgs parse_campaign_args(const std::vector<std::string>& args) {
     } else if (args[i] == "--shard") {
       // "I/N", 1-based: --shard 2/3 executes the second of three
       // deterministic contiguous slices of the canonical run order.
-      const std::string v = need_value("--shard");
-      const auto slash = v.find('/');
-      if (slash == std::string::npos) {
-        throw std::runtime_error("--shard: expected I/N, e.g. --shard 1/3");
-      }
-      const std::size_t index = parse_count(v.substr(0, slash), "--shard");
-      const std::size_t count = parse_count(v.substr(slash + 1), "--shard");
-      if (index > count) {
-        throw std::runtime_error("--shard: index " + std::to_string(index) +
-                                 " out of range (shards are 1/" +
-                                 std::to_string(count) + " .. " +
-                                 std::to_string(count) + "/" +
-                                 std::to_string(count) + ")");
-      }
-      out.copts.shard_index = index - 1;
-      out.copts.shard_count = count;
+      std::tie(out.copts.shard_index, out.copts.shard_count) =
+          campaign::parse_shard_arg(need_value("--shard"));
+    } else if (args[i] == "--run-timeout") {
+      out.copts.run_timeout_ms =
+          campaign::parse_run_timeout_arg(need_value("--run-timeout"));
     } else if (args[i].rfind("--", 0) == 0) {
       throw std::runtime_error("unknown flag: " + args[i]);
     }
@@ -421,9 +430,10 @@ void print_report(const campaign::Report& report, const std::string& json_path,
               << " of the sweep's runs\n";
   }
   if (!json_path.empty()) {
-    std::ofstream out(json_path);
-    if (!out) throw std::runtime_error("cannot write " + json_path);
-    out << report.to_json(timings);
+    // Atomic + retried ("report.write" failpoint): a torn report file
+    // would defeat the byte-identity checks downstream tooling runs.
+    util::io::write_file_atomic("report.write", json_path,
+                                report.to_json(timings));
     std::cout << "campaign report written to " << json_path << " ("
               << report.runs.size() << " runs)\n";
   }
@@ -451,10 +461,10 @@ int cmd_merge(const std::vector<std::string>& args) {
         "merge: at least one --checkpoint DIR is required");
   }
   if (a.copts.jobs != 0 || a.copts.shard_count != 1 ||
-      a.copts.matrix_cache != nullptr) {
+      a.copts.matrix_cache != nullptr || a.copts.run_timeout_ms != 0) {
     throw std::runtime_error(
-        "merge folds existing checkpoints; --jobs/--shard/--cache do not "
-        "apply");
+        "merge folds existing checkpoints; --jobs/--shard/--cache/"
+        "--run-timeout do not apply");
   }
   // Determinism contract: the merged report is byte-identical to an
   // uninterrupted single-process run of the same spec.
@@ -503,6 +513,20 @@ int cmd_cache(const std::vector<std::string>& args) {
   return usage();
 }
 
+int cmd_failpoints() {
+  // One site per line, sorted — the chaos CI job diffs this against the
+  // spec it arms, so adding a site without chaos coverage fails CI.
+  if (!util::failpoint::compiled_in()) {
+    obs::diag(obs::Severity::kWarn, "failpoint",
+              "this build has failpoints compiled out (FBIST_FAILPOINTS=OFF); "
+              "the sites below are inert");
+  }
+  for (const auto& site : util::failpoint::known_sites()) {
+    std::cout << site << "\n";
+  }
+  return 0;
+}
+
 int cmd_gen(const std::vector<std::string>& args) {
   if (args.size() < 6) return usage();
   circuits::GeneratorSpec spec;
@@ -519,10 +543,20 @@ int cmd_gen(const std::vector<std::string>& args) {
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv, argv + argc);
+  // Arm fault injection before any subcommand touches the disk; a
+  // malformed spec is a usage error (exit 2), reported with the full
+  // grammar so the operator can fix it without reading the header.
+  try {
+    fbist::util::failpoint::configure_from_env();
+  } catch (const std::exception& e) {
+    fbist::obs::diag(fbist::obs::Severity::kError, "failpoint", e.what());
+    return 2;
+  }
   if (args.size() < 2) return usage();
   const std::string& cmd = args[1];
   try {
     if (cmd == "list") return cmd_list();
+    if (cmd == "failpoints") return cmd_failpoints();
     if (cmd == "gen") return cmd_gen(args);
     if (cmd == "campaign") return cmd_campaign(args);
     if (cmd == "merge") return cmd_merge(args);
@@ -541,7 +575,7 @@ int main(int argc, char** argv) {
     if (cmd == "solve") return cmd_solve(circuit, parse_flags(args, 3));
     return usage();
   } catch (const std::exception& e) {
-    std::cerr << "fbist: " << e.what() << "\n";
+    obs::diag(obs::Severity::kError, "cli", e.what());
     return 1;
   }
 }
