@@ -1,0 +1,106 @@
+#include "atpg/cnf.h"
+
+#include <stdexcept>
+
+namespace fbist::atpg {
+
+void Cnf::add_clause(const SatLit* lits, std::size_t n) {
+  lits_.insert(lits_.end(), lits, lits + n);
+  offset_.push_back(static_cast<std::uint32_t>(lits_.size()));
+}
+
+void emit_and_cnf(ClauseSink& sink, SatLit out, const SatLit* fanin,
+                  std::size_t n) {
+  // out -> fi for every fanin: (~out | fi).
+  for (std::size_t i = 0; i < n; ++i) {
+    sink.add_clause({~out, fanin[i]});
+  }
+  // (f1 & ... & fn) -> out: (out | ~f1 | ... | ~fn).
+  std::vector<SatLit> big;
+  big.reserve(n + 1);
+  big.push_back(out);
+  for (std::size_t i = 0; i < n; ++i) big.push_back(~fanin[i]);
+  sink.add_clause(big.data(), big.size());
+}
+
+void emit_xor_cnf(ClauseSink& sink, SatLit out, SatLit a, SatLit b) {
+  // Four clauses excluding every assignment where out != a ^ b.
+  sink.add_clause({~out, a, b});
+  sink.add_clause({~out, ~a, ~b});
+  sink.add_clause({out, ~a, b});
+  sink.add_clause({out, a, ~b});
+}
+
+namespace {
+
+/// out <-> XOR(fanin...): chain 2-input XORs through fresh aux vars,
+/// with the final stage writing `out` directly.
+void emit_xor_chain(ClauseSink& sink, SatLit out, const SatLit* fanin,
+                    std::size_t n) {
+  SatLit acc = fanin[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    const SatLit stage =
+        (i + 1 == n) ? out : mk_lit(sink.new_var());
+    emit_xor_cnf(sink, stage, acc, fanin[i]);
+    acc = stage;
+  }
+}
+
+}  // namespace
+
+void emit_gate_cnf(ClauseSink& sink, netlist::GateType type, SatLit out,
+                   const SatLit* fanin, std::size_t n) {
+  using netlist::GateType;
+  switch (type) {
+    case GateType::kBuf:
+      sink.add_clause({~out, fanin[0]});
+      sink.add_clause({out, ~fanin[0]});
+      return;
+    case GateType::kNot:
+      sink.add_clause({~out, ~fanin[0]});
+      sink.add_clause({out, fanin[0]});
+      return;
+    case GateType::kAnd:
+      emit_and_cnf(sink, out, fanin, n);
+      return;
+    case GateType::kNand:
+      emit_and_cnf(sink, ~out, fanin, n);
+      return;
+    case GateType::kOr:
+    case GateType::kNor: {
+      // OR(f) == ~AND(~f); NOR keeps the positive output literal.
+      std::vector<SatLit> inv(fanin, fanin + n);
+      for (SatLit& l : inv) l = ~l;
+      emit_and_cnf(sink, type == GateType::kOr ? ~out : out, inv.data(), n);
+      return;
+    }
+    case GateType::kXor:
+      emit_xor_chain(sink, out, fanin, n);
+      return;
+    case GateType::kXnor:
+      emit_xor_chain(sink, ~out, fanin, n);
+      return;
+    case GateType::kInput:
+      break;
+  }
+  throw std::logic_error("emit_gate_cnf: cannot emit an input pseudo-gate");
+}
+
+std::size_t CircuitCnf::add_timeframe() {
+  const std::size_t num_nets = cc_.num_nets();
+  std::vector<SatVar> vars(num_nets);
+  for (std::size_t n = 0; n < num_nets; ++n) vars[n] = sink_.new_var();
+
+  std::vector<SatLit> fanin_lits;
+  for (const netlist::NetId gate : cc_.schedule()) {
+    const netlist::Span<netlist::NetId> fanin = cc_.fanin(gate);
+    fanin_lits.clear();
+    for (const netlist::NetId f : fanin) fanin_lits.push_back(mk_lit(vars[f]));
+    emit_gate_cnf(sink_, cc_.type(gate), mk_lit(vars[gate]), fanin_lits.data(),
+                  fanin_lits.size());
+  }
+  frames_.push_back(std::move(vars));
+  return frames_.size() - 1;
+}
+
+}  // namespace fbist::atpg

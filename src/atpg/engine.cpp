@@ -1,8 +1,11 @@
 #include "atpg/engine.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "atpg/compaction.h"
+#include "obs/diag.h"
+#include "obs/metrics.h"
 
 namespace fbist::atpg {
 
@@ -110,6 +113,11 @@ AtpgResult run_atpg(const netlist::Netlist& nl, const fault::FaultList& faults,
       }
     }
   }
+  // SAT escalation target (lazy: built on the first PODEM abort only —
+  // clean runs never pay the good-circuit CNF emission).
+  std::unique_ptr<SatEngine> sat;
+  OBS_COUNTER(c_sat_detected, "atpg.sat_detected");
+  OBS_COUNTER(c_sat_redundant, "atpg.sat_redundant");
   for (std::size_t fid = 0; fid < faults.size() && num_remaining > 0; ++fid) {
     if (!remaining[fid]) continue;
     const PodemResult pr = podem.generate(faults[fid]);
@@ -121,6 +129,43 @@ AtpgResult run_atpg(const netlist::Netlist& nl, const fault::FaultList& faults,
       continue;
     }
     if (pr.status == PodemStatus::kAborted) {
+      if (opts.sat_escalate) {
+        if (!sat) sat = std::make_unique<SatEngine>(*compiled, opts.sat);
+        const SatResult sr = sat->generate(faults[fid]);
+        if (sr.status == SatStatus::kRedundant) {
+          remaining[fid] = false;
+          result.verdict[fid] = FaultVerdict::kRedundant;
+          ++result.redundant_faults;
+          ++result.sat_redundant_faults;
+          OBS_COUNT(c_sat_redundant, 1);
+          --num_remaining;
+          continue;
+        }
+        if (sr.status == SatStatus::kDetected) {
+          if (fsim.detects(sr.pattern, fid)) {
+            // Validated pattern: same fault-dropping treatment as a
+            // PODEM pattern (it is already fully specified — no X-fill).
+            sim::PatternSet one(nl.num_inputs(), 0);
+            one.append(sr.pattern);
+            const sim::FaultSimResult r = fsim.run_subset(one, remaining);
+            r.detected.for_each_set([&](std::size_t hit) {
+              remaining[hit] = false;
+              result.verdict[hit] = FaultVerdict::kDetected;
+              --num_remaining;
+            });
+            pool.append(sr.pattern);
+            ++result.deterministic_patterns;
+            ++result.sat_detected_faults;
+            OBS_COUNT(c_sat_detected, 1);
+            continue;
+          }
+          // A SAT model the fault simulator rejects means the CNF and
+          // the simulator disagree about the circuit — never silent.
+          obs::diag(obs::Severity::kError, "atpg",
+                    "SAT model failed fault-simulation validation; "
+                    "keeping abort verdict");
+        }
+      }
       remaining[fid] = false;  // stop retrying; verdict stays kAborted
       ++result.aborted_faults;
       --num_remaining;

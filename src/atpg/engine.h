@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "atpg/podem.h"
+#include "atpg/sat_engine.h"
 #include "fault/fault.h"
 #include "netlist/compiled.h"
 #include "sim/fault_sim.h"
@@ -37,13 +38,21 @@ struct AtpgOptions {
   /// the dynamic flow (fault dropping per generated pattern) usually
   /// compacts as well; see AtpgEngine.StaticCompactionKeepsCoverage.
   bool static_cube_compaction = false;
+  /// SAT escalation: when PODEM aborts on a fault, hand it to
+  /// atpg::SatEngine, which either produces a validated test pattern or
+  /// a redundancy certificate (see sat_engine.h).  On by default —
+  /// PODEM stays the fast path; the solver only ever sees the aborted
+  /// tail.
+  bool sat_escalate = true;
+  SatEngineOptions sat;
   std::uint64_t seed = 1;
 };
 
 enum class FaultVerdict : std::uint8_t {
   kDetected,
-  kRedundant,   // PODEM proved untestable
-  kAborted,     // PODEM hit the backtrack limit
+  kRedundant,   // proven untestable (PODEM or SAT certificate)
+  kAborted,     // PODEM hit the backtrack limit (and SAT, if enabled,
+                // hit its conflict limit or produced an invalid model)
 };
 
 struct AtpgResult {
@@ -53,6 +62,13 @@ struct AtpgResult {
   std::size_t deterministic_patterns = 0; // produced by PODEM
   std::size_t redundant_faults = 0;
   std::size_t aborted_faults = 0;
+  /// SAT-escalation outcomes (both zero when sat_escalate is off).
+  /// sat_detected_faults counts PODEM-aborted faults the solver found a
+  /// (FaultSim-validated) pattern for; sat_redundant_faults counts
+  /// UNSAT redundancy certificates.  Both subsets are already included
+  /// in the verdict[] / redundant_faults tallies above.
+  std::size_t sat_detected_faults = 0;
+  std::size_t sat_redundant_faults = 0;
 
   /// Detected / (total - redundant), in percent.
   double testable_coverage_percent() const;

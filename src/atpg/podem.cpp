@@ -179,8 +179,16 @@ std::optional<std::pair<NetId, Tern>> Podem::objective(const fault::Fault& f) co
     // cheaper side of the first X fanin.
     want = Tern::k0;
   }
+  // A fanin is assignable while *either* side is X — inside the fault
+  // cone one side is often pinned by the stuck value while the other
+  // is still free (e.g. a frontier gate whose good output is blocked
+  // can still come up D' by driving the faulty side non-controlling).
+  // Requiring is_x() (both sides X) skips such nets and turns
+  // reachable objectives into false conflicts — and ultimately false
+  // kUntestable claims; the differential suite (DifferentialAtpg)
+  // cross-checks exactly this against the SAT engine.
   for (const NetId fin : cc.fanin(best_gate)) {
-    if (value_[fin].is_x()) {
+    if (value_[fin].has_x()) {
       if (!netlist::has_controlling_value(gt)) {
         want = cc0_[fin] <= cc1_[fin] ? Tern::k0 : Tern::k1;
       }
@@ -214,7 +222,7 @@ std::pair<NetId, Tern> Podem::backtrace(NetId net, Tern value) const {
       // implication pass validates).
       NetId pick = fin[0];
       for (const NetId fi : fin) {
-        if (value_[fi].is_x()) {
+        if (value_[fi].has_x()) {
           pick = fi;
           break;
         }
@@ -237,7 +245,9 @@ std::pair<NetId, Tern> Podem::backtrace(NetId net, Tern value) const {
     NetId pick = netlist::kNullNet;
     std::uint8_t best_cost = 0;
     for (const NetId fi : fin) {
-      if (!value_[fi].is_x()) continue;
+      // has_x(), not is_x(): cone nets with one side pinned are still
+      // assignable through the other (see objective()).
+      if (!value_[fi].has_x()) continue;
       const std::uint8_t cost = child == Tern::k0 ? cc0_[fi] : cc1_[fi];
       if (pick == netlist::kNullNet ||
           (need_all ? cost > best_cost : cost < best_cost)) {

@@ -1,0 +1,107 @@
+#include "atpg/sat_engine.h"
+
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace fbist::atpg {
+
+SatEngine::SatEngine(const netlist::CompiledCircuit& cc, SatEngineOptions opts)
+    : cc_(cc), opts_(opts) {
+  // One combinational timeframe into a fresh sink: net n's variable is
+  // exactly n (see CircuitCnf), so the engine needs no variable map for
+  // the good circuit.
+  CircuitCnf frames(cc_, good_cnf_);
+  frames.add_timeframe();
+}
+
+SatResult SatEngine::generate(const fault::Fault& f) const {
+  OBS_COUNTER(c_calls, "atpg.sat_calls");
+  OBS_COUNTER(c_conflicts, "atpg.sat_conflicts");
+  OBS_COUNT(c_calls, 1);
+
+  SatResult result;
+  if (!cc_.reaches_output(f.net)) {
+    // Dead logic: no path to observe the effect.  Certified without a
+    // solver call (the UNSAT proof would be immediate anyway).
+    result.status = SatStatus::kRedundant;
+    return result;
+  }
+
+  SolverOptions sopts;
+  sopts.conflict_limit = opts_.conflict_limit;
+  Solver solver(sopts);
+  solver.load(good_cnf_);
+
+  // Faulty copy: variables only for the fault site and its fanout cone.
+  // Everything outside the cone is shared with the good circuit.
+  const std::size_t num_nets = cc_.num_nets();
+  constexpr SatVar kShared = static_cast<SatVar>(-1);
+  std::vector<SatVar> faulty(num_nets, kShared);
+
+  // The stuck site: a fresh variable pinned to the stuck value.
+  faulty[f.net] = solver.new_var();
+  solver.add_unit(mk_lit(faulty[f.net], /*neg=*/!f.stuck_value));
+  // Activation: the good circuit must drive the site to the opposite
+  // value.  (For an uncontrollable site this makes the formula UNSAT —
+  // exactly the redundancy answer.)
+  solver.add_unit(mk_lit(static_cast<SatVar>(f.net), /*neg=*/f.stuck_value));
+
+  // cone_gates() is ascending NetId == evaluation order, so fanins are
+  // always defined (either earlier in the cone, the site, or shared).
+  std::vector<SatLit> fanin_lits;
+  for (const netlist::NetId g : cc_.cone_gates(f.net)) {
+    faulty[g] = solver.new_var();
+    fanin_lits.clear();
+    for (const netlist::NetId in : cc_.fanin(g)) {
+      const SatVar v =
+          faulty[in] == kShared ? static_cast<SatVar>(in) : faulty[in];
+      fanin_lits.push_back(mk_lit(v));
+    }
+    emit_gate_cnf(solver, cc_.type(g), mk_lit(faulty[g]), fanin_lits.data(),
+                  fanin_lits.size());
+  }
+
+  // Miter: one XOR difference per cone-reachable PO, then "some output
+  // differs" as a single disjunction.
+  std::vector<SatLit> diffs;
+  for (const std::uint32_t pos : cc_.cone_outputs(f.net)) {
+    const netlist::NetId po = cc_.outputs()[pos];
+    const SatVar d = solver.new_var();
+    emit_xor_cnf(solver, mk_lit(d), mk_lit(static_cast<SatVar>(po)),
+                 mk_lit(faulty[po]));
+    diffs.push_back(mk_lit(d));
+  }
+  solver.add_clause(diffs.data(), diffs.size());
+
+  const SolveStatus status = solver.solve();
+  result.conflicts = solver.stats().conflicts;
+  result.decisions = solver.stats().decisions;
+  OBS_COUNT(c_conflicts, result.conflicts);
+
+  switch (status) {
+    case SolveStatus::kUnsat:
+      result.status = SatStatus::kRedundant;
+      return result;
+    case SolveStatus::kAborted:
+      result.status = SatStatus::kAborted;
+      return result;
+    case SolveStatus::kSat:
+      break;
+  }
+
+  // Read the test vector off the model.  The model assigns every
+  // variable, so the pattern is fully specified (care = all ones).
+  const std::size_t num_inputs = cc_.num_inputs();
+  result.pattern = util::WideWord(num_inputs);
+  result.care = util::WideWord(num_inputs);
+  for (std::size_t i = 0; i < num_inputs; ++i) {
+    result.pattern.set_bit(
+        i, solver.value(static_cast<SatVar>(cc_.inputs()[i])));
+    result.care.set_bit(i, true);
+  }
+  result.status = SatStatus::kDetected;
+  return result;
+}
+
+}  // namespace fbist::atpg

@@ -1,0 +1,84 @@
+// SAT-based ATPG: per-fault miter construction + CDCL solve.
+//
+// The complement to PODEM (podem.h).  PODEM is a structural
+// branch-and-bound over primary-input assignments — fast on the easy
+// mass of the fault list, but its backtrack limit turns the hard tail
+// into *aborts*: faults that are neither detected nor proven redundant,
+// silently deflating fault coverage.  SatEngine decides exactly that
+// tail.  For one stuck-at fault it builds the classic good/faulty miter
+// as a propositional formula and hands it to the embedded CDCL solver
+// (solver.h):
+//
+//   * the good circuit is encoded once per SatEngine (Tseitin clauses
+//     over the whole schedule, via cnf.h) and bulk-loaded into a fresh
+//     solver per fault — fresh solvers keep results order-independent
+//     and deterministic;
+//   * the faulty circuit is only re-encoded over the fault's fanout
+//     cone (cone_gates), with the fault site forced to its stuck value
+//     and the good site forced to the opposite value (activation);
+//   * each cone-reachable primary output contributes an XOR difference
+//     variable; their disjunction asserts "some output differs".
+//
+// SAT      -> a fully specified test pattern (read off the PI model);
+// UNSAT    -> a *redundancy certificate*: no input vector distinguishes
+//             the faulty machine, so the fault is untestable and is
+//             excluded from the fault universe;
+// kAborted -> conflict budget exhausted; the fault stays aborted.
+//
+// The engine trusts the solver for UNSAT but not for SAT: callers
+// (run_atpg) re-validate every produced pattern against sim::FaultSim
+// before using it.  Sequential extension rides on CircuitCnf's
+// timeframe hook — see cnf.h.
+#pragma once
+
+#include <cstdint>
+
+#include "atpg/cnf.h"
+#include "atpg/solver.h"
+#include "fault/fault.h"
+#include "netlist/compiled.h"
+#include "util/wideword.h"
+
+namespace fbist::atpg {
+
+struct SatEngineOptions {
+  /// Conflict budget per fault; 0 = unlimited.  The default decides
+  /// every registry-circuit fault with a wide margin while bounding
+  /// pathological instances.
+  std::uint64_t conflict_limit = 200000;
+};
+
+enum class SatStatus : std::uint8_t {
+  kDetected,   // SAT — pattern holds a (fully specified) test vector
+  kRedundant,  // UNSAT — certified untestable
+  kAborted,    // conflict limit hit
+};
+
+struct SatResult {
+  SatStatus status = SatStatus::kAborted;
+  util::WideWord pattern;  // PI vector (valid when kDetected)
+  util::WideWord care;     // all-ones when kDetected (model is total)
+  std::uint64_t conflicts = 0;
+  std::uint64_t decisions = 0;
+};
+
+/// Per-circuit SAT ATPG engine.  Construction encodes the good circuit
+/// once; generate() builds and solves one miter per fault.
+class SatEngine {
+ public:
+  explicit SatEngine(const netlist::CompiledCircuit& cc,
+                     SatEngineOptions opts = {});
+
+  /// Decides one stuck-at fault.  Deterministic: identical circuit +
+  /// fault always yields the identical result (including the pattern).
+  SatResult generate(const fault::Fault& f) const;
+
+  const SatEngineOptions& options() const { return opts_; }
+
+ private:
+  const netlist::CompiledCircuit& cc_;
+  SatEngineOptions opts_;
+  Cnf good_cnf_;  // whole-circuit Tseitin clauses; net n <-> variable n
+};
+
+}  // namespace fbist::atpg

@@ -1,0 +1,133 @@
+// Embedded CDCL SAT solver — no external dependency.
+//
+// A deliberately small conflict-driven clause-learning solver in the
+// MiniSat lineage: two-watched-literal propagation, first-UIP conflict
+// analysis with learned clauses, exponential-decay variable activity
+// (heap-ordered decisions), phase saving, and geometric restarts.  It
+// exists to answer one question class — "is this stuck-at fault
+// testable?" — on circuit-shaped formulas, where instances are small
+// but plentiful, so the design optimizes for construction cost and
+// determinism over raw solving horsepower:
+//
+//  * fully deterministic: identical formulas yield identical models,
+//    decision counts and conflict counts on every run (ties break on
+//    the lowest variable index);
+//  * bounded: a conflict limit turns "too hard" into an explicit
+//    kAborted instead of an unbounded search (PODEM's backtrack-limit
+//    discipline, transplanted);
+//  * incremental-ish: a preassembled Cnf bulk-loads cheaply, then
+//    per-fault clauses are added on top (the engine's miter layer).
+//
+// Assumptions are supported as forced first decisions — the CNF
+// property suite unit-assumes the primary-input literals and checks
+// the propagated model against the logic simulator.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "atpg/cnf.h"
+
+namespace fbist::atpg {
+
+/// Outcome of one solve() call.
+enum class SolveStatus : std::uint8_t {
+  kSat,      // model available via Solver::value()
+  kUnsat,    // formula (under the assumptions) is unsatisfiable
+  kAborted,  // conflict limit hit — undecided
+};
+
+struct SolverOptions {
+  /// Conflict budget per solve() call; 0 = unlimited.
+  std::uint64_t conflict_limit = 0;
+};
+
+struct SolverStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learned_clauses = 0;
+};
+
+/// One solver instance: load / add clauses, solve, read the model.
+class Solver : public ClauseSink {
+ public:
+  explicit Solver(SolverOptions opts = {});
+
+  SatVar new_var() override;
+  /// Adds one clause.  Level-0 simplification only: false literals are
+  /// dropped, satisfied/tautological clauses are skipped.  An empty
+  /// (all-false) clause marks the instance trivially unsat.
+  void add_clause(const SatLit* lits, std::size_t n) override;
+  using ClauseSink::add_clause;
+
+  /// Bulk-appends `cnf` (its variables must already exist — see
+  /// ensure_vars / new_var).
+  void load(const Cnf& cnf);
+  /// Allocates variables up to `count` (no-op when enough exist).
+  void ensure_vars(std::size_t count);
+
+  /// Solves under optional assumptions (forced first decisions, in
+  /// order).  Resets the search state; clauses persist across calls.
+  SolveStatus solve(const std::vector<SatLit>& assumptions = {});
+
+  /// Model value of `v` after a kSat solve.
+  bool value(SatVar v) const { return assign_[v] == 1; }
+
+  std::size_t num_vars() const { return assign_.size(); }
+  const SolverStats& stats() const { return stats_; }
+
+ private:
+  static constexpr std::uint32_t kNoReason = static_cast<std::uint32_t>(-1);
+
+  bool enqueue(SatLit l, std::uint32_t reason);
+  /// Propagates the trail to fixpoint; returns a conflicting clause
+  /// index or kNoReason.
+  std::uint32_t propagate();
+  /// First-UIP analysis of `conflict`; fills `learned` (asserting
+  /// literal first) and returns the backjump level.
+  std::uint32_t analyze(std::uint32_t conflict, std::vector<SatLit>& learned);
+  void backtrack(std::uint32_t level);
+  void bump_var(SatVar v);
+  void decay_activities();
+  SatVar pick_branch_var();
+
+  // Decision-order heap (max-activity, ties to the lowest index).
+  void heap_insert(SatVar v);
+  void heap_update(SatVar v);
+  SatVar heap_pop();
+  bool heap_less(SatVar a, SatVar b) const;
+  void heap_sift_up(std::size_t i);
+  void heap_sift_down(std::size_t i);
+
+  SolverOptions opts_;
+  SolverStats stats_;
+
+  // Clause storage: flat literal pool + per-clause offsets.  Watched
+  // literals are the first two of each clause.
+  std::vector<SatLit> pool_;
+  std::vector<std::uint32_t> clause_off_;
+  std::vector<std::uint32_t> clause_len_;
+  std::vector<std::vector<std::uint32_t>> watches_;  // per literal code
+
+  std::vector<std::int8_t> assign_;     // per var: -1 unset, 0 false, 1 true
+  std::vector<std::uint32_t> level_;    // per var
+  std::vector<std::uint32_t> reason_;   // per var: clause index or kNoReason
+  std::vector<SatLit> trail_;
+  std::vector<std::uint32_t> trail_lim_;  // trail size at each decision level
+  std::size_t qhead_ = 0;
+
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  std::vector<std::uint8_t> polarity_;  // saved phase, 1 = last true
+  std::vector<std::uint32_t> heap_pos_;  // per var: heap index or kNoPos
+  std::vector<SatVar> heap_;
+  static constexpr std::uint32_t kNoPos = static_cast<std::uint32_t>(-1);
+
+  std::vector<std::uint8_t> seen_;  // analyze() scratch
+  bool unsat_ = false;              // empty clause added
+};
+
+}  // namespace fbist::atpg

@@ -33,6 +33,10 @@ struct Val5 {
   }
 
   bool is_x() const { return good == Tern::kX && faulty == Tern::kX; }
+  /// Some side still undetermined — the net can still be driven by
+  /// further PI assignments (inside a fault cone one side may already
+  /// be pinned while the other is X).
+  bool has_x() const { return good == Tern::kX || faulty == Tern::kX; }
   /// True for D (good=1/faulty=0) or D' (good=0/faulty=1).
   bool is_d_or_dbar() const {
     return good != Tern::kX && faulty != Tern::kX && good != faulty;

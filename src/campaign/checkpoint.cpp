@@ -85,7 +85,7 @@ std::string spec_hash_hex(std::uint64_t h) {
 
 void write_checkpoint(const CheckpointRecord& rec, std::ostream& out) {
   const RunResult& r = rec.result;
-  out << "fbist-ckpt v1\n";
+  out << "fbist-ckpt v2\n";
   out << "spec " << spec_hash_hex(rec.spec) << "\n";
   out << "run " << rec.position << " " << rec.total_runs << "\n";
   out << "circuit " << one_line(r.spec.circuit) << "\n";
@@ -97,8 +97,9 @@ void write_checkpoint(const CheckpointRecord& rec, std::ostream& out) {
     out << "error " << one_line(r.error) << "\n";
   } else {
     out << "counts " << r.circuit_inputs << " " << r.circuit_gates << " "
-        << r.atpg_patterns << " " << r.faults_targeted << " " << r.num_triplets
-        << " " << r.test_length << " " << r.faults_covered << " "
+        << r.atpg_patterns << " " << r.faults_targeted << " " << r.redundant
+        << " " << r.sat_detected << " " << r.num_triplets << " "
+        << r.test_length << " " << r.faults_covered << " "
         << r.faults_uncoverable << " " << r.necessary_triplets << " "
         << r.solver_triplets << " " << (r.solver_optimal ? 1 : 0) << " "
         << r.rom_bits << "\n";
@@ -133,7 +134,7 @@ CheckpointRecord read_checkpoint(std::istream& in) {
       std::string version;
       ss >> version;
       try {
-        reseed::check_version_header(key, version, "fbist-ckpt", "v1");
+        reseed::check_version_header(key, version, "fbist-ckpt", "v2");
       } catch (const std::runtime_error& e) {
         fail(e.what());
       }
@@ -194,9 +195,10 @@ CheckpointRecord read_checkpoint(std::istream& in) {
       RunResult& r = rec.result;
       int optimal = 0;
       ss >> r.circuit_inputs >> r.circuit_gates >> r.atpg_patterns >>
-          r.faults_targeted >> r.num_triplets >> r.test_length >>
-          r.faults_covered >> r.faults_uncoverable >> r.necessary_triplets >>
-          r.solver_triplets >> optimal >> r.rom_bits;
+          r.faults_targeted >> r.redundant >> r.sat_detected >>
+          r.num_triplets >> r.test_length >> r.faults_covered >>
+          r.faults_uncoverable >> r.necessary_triplets >> r.solver_triplets >>
+          optimal >> r.rom_bits;
       if (ss.fail() || (optimal != 0 && optimal != 1)) fail("bad counts");
       r.solver_optimal = optimal == 1;
       counts_seen = true;

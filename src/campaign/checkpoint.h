@@ -7,7 +7,7 @@
 // it a durable form:
 //
 //  * CheckpointStore persists each completed run as one versioned text
-//    blob ("fbist-ckpt v1", run-<position>.ckpt) in a directory,
+//    blob ("fbist-ckpt v2", run-<position>.ckpt) in a directory,
 //    written tmp-file-then-rename so a kill mid-write never leaves a
 //    torn blob behind.  Every blob carries the *spec hash* — a content
 //    hash of the canonical run list — plus its position and run
@@ -65,7 +65,9 @@ struct CheckpointRecord {
   RunResult result;             // includes the run's RunSpec identity
 };
 
-/// Serialization of one run result ("fbist-ckpt v1").  write always
+/// Serialization of one run result ("fbist-ckpt v2" — v2 added the
+/// redundant / sat_detected counts; v1 blobs read as corrupt and are
+/// re-executed).  write always
 /// succeeds on a good stream; read throws std::runtime_error with a
 /// line-numbered message on malformed input and a version-naming
 /// message on a future-version blob.

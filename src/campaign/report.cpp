@@ -48,6 +48,10 @@ std::string Report::to_json(bool include_timing) const {
       w.value(static_cast<std::uint64_t>(r.atpg_patterns));
       w.key("faults_targeted");
       w.value(static_cast<std::uint64_t>(r.faults_targeted));
+      w.key("redundant");
+      w.value(static_cast<std::uint64_t>(r.redundant));
+      w.key("sat_detected");
+      w.value(static_cast<std::uint64_t>(r.sat_detected));
       w.key("triplets");
       w.value(static_cast<std::uint64_t>(r.num_triplets));
       w.key("test_length");

@@ -32,6 +32,12 @@ struct RunResult {
   std::size_t circuit_gates = 0;
   std::size_t atpg_patterns = 0;
   std::size_t faults_targeted = 0;
+  /// Faults certified untestable by ATPG (PODEM implication or a SAT
+  /// redundancy certificate) and excluded from the fault universe.
+  std::size_t redundant = 0;
+  /// PODEM-aborted faults the SAT engine produced a validated test
+  /// pattern for (zero when AtpgOptions::sat_escalate is off).
+  std::size_t sat_detected = 0;
 
   // Solution statistics (reseed::ReseedingSolution).
   std::size_t num_triplets = 0;

@@ -56,6 +56,8 @@ void execute_run(const CircuitCtx& ctx, RunResult& out,
     out.circuit_gates = p.circuit().num_gates();
     out.atpg_patterns = p.atpg_patterns().size();
     out.faults_targeted = sol.faults_targeted;
+    out.redundant = p.atpg_result().redundant_faults;
+    out.sat_detected = p.atpg_result().sat_detected_faults;
     out.num_triplets = sol.num_triplets();
     out.test_length = sol.test_length;
     out.faults_covered = sol.faults_covered;

@@ -40,6 +40,8 @@ TEST(Checkpoint, RecordRoundTripsOkAndFailedRuns) {
   rec.result.circuit_gates = 6;
   rec.result.atpg_patterns = 7;
   rec.result.faults_targeted = 22;
+  rec.result.redundant = 4;
+  rec.result.sat_detected = 2;
   rec.result.num_triplets = 3;
   rec.result.test_length = 96;
   rec.result.faults_covered = 22;
@@ -61,6 +63,8 @@ TEST(Checkpoint, RecordRoundTripsOkAndFailedRuns) {
   EXPECT_EQ(back.result.spec.solver, rec.result.spec.solver);
   EXPECT_TRUE(back.result.ok);
   EXPECT_EQ(back.result.faults_targeted, 22u);
+  EXPECT_EQ(back.result.redundant, 4u);
+  EXPECT_EQ(back.result.sat_detected, 2u);
   EXPECT_EQ(back.result.num_triplets, 3u);
   EXPECT_EQ(back.result.test_length, 96u);
   EXPECT_EQ(back.result.faults_uncoverable, 1u);
@@ -88,10 +92,17 @@ TEST(Checkpoint, ReadRejectsMalformedRecords) {
     FAIL() << "v9 accepted";
   } catch (const std::runtime_error& e) {
     EXPECT_NE(std::string(e.what()).find("v9"), std::string::npos);
-    EXPECT_NE(std::string(e.what()).find("v1"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("v2"), std::string::npos);
   }
-  // Truncated: identity present but no ok/counts.
+  // Pre-SAT-escalation v1 blobs (shorter counts line) read as corrupt
+  // and are re-executed rather than silently mis-parsed.
   EXPECT_THROW(checkpoint_from_string("fbist-ckpt v1\n"
+                                      "spec 0000000000000001\n"
+                                      "run 0 1\n"
+                                      "circuit c17\n"),
+               std::runtime_error);
+  // Truncated: identity present but no ok/counts.
+  EXPECT_THROW(checkpoint_from_string("fbist-ckpt v2\n"
                                       "spec 0000000000000001\n"
                                       "run 0 1\n"
                                       "circuit c17\n"),
@@ -155,7 +166,7 @@ TEST(Checkpoint, CorruptBlobIsSkippedAndRebuilt) {
   CheckpointStore store(dir, spec);
   {
     std::ofstream out(store.blob_path(1), std::ios::trunc);
-    out << "fbist-ckpt v1\ntruncated mid-wri";
+    out << "fbist-ckpt v2\ntruncated mid-wri";
   }
 
   const Report resumed = run_campaign(spec, copts, &sched);

@@ -1,0 +1,96 @@
+// Campaign-level pins for SAT escalation: the new redundant /
+// sat_detected report columns must honor the campaign determinism
+// contract — byte-identical canonical JSON at any worker count and
+// across checkpoint kill/resume — and escalation may only *raise*
+// per-run coverage relative to a PODEM-only sweep.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "campaign/checkpoint.h"
+#include "campaign/runner.h"
+
+namespace fbist::campaign {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A sweep whose ATPG genuinely escalates: backtrack limit 0 makes
+/// PODEM abort on its first backtrack, so every hard fault (including
+/// the redundancy proofs, which need exhaustive backtracking) lands on
+/// the SAT engine.
+CampaignSpec sat_spec() {
+  CampaignSpec spec;
+  spec.circuits = {"c432", "c880"};
+  spec.cycle_values = {8, 16};
+  spec.solvers = {reseed::SolverChoice::kGreedy};
+  spec.pipeline.atpg.podem.backtrack_limit = 0;
+  spec.pipeline.atpg.sat_escalate = true;
+  return spec;  // 4 runs
+}
+
+TEST(SatEscalationCampaign, ReportIsByteIdenticalAcrossWorkerCounts) {
+  Scheduler one(1);
+  Scheduler four(4);
+  const Report a = run_campaign(sat_spec(), {}, &one);
+  const Report b = run_campaign(sat_spec(), {}, &four);
+  EXPECT_EQ(a.to_json(), b.to_json());
+
+  ASSERT_TRUE(a.all_ok());
+  for (const RunResult& r : a.runs) {
+    // The premise holds: escalation did real work in every run, and
+    // both new columns carry it into the canonical report.
+    EXPECT_GT(r.redundant, 0u) << run_label(r.spec);
+    EXPECT_GT(r.sat_detected, 0u) << run_label(r.spec);
+  }
+}
+
+TEST(SatEscalationCampaign, ResumeRoundTripsTheNewColumns) {
+  const std::string dir =
+      ::testing::TempDir() + "fbist_sat_escalation_resume";
+  fs::remove_all(dir);
+  Scheduler sched(2);
+  const CampaignSpec spec = sat_spec();
+
+  CampaignOptions copts;
+  copts.checkpoint_dir = dir;
+  const Report full = run_campaign(spec, copts, &sched);
+  ASSERT_TRUE(full.all_ok());
+
+  // Simulate a crash that lost one run; the other three resume from
+  // blobs, so their redundant/sat_detected values travel through the
+  // fbist-ckpt v2 counts line — any serialization gap would break the
+  // byte-identity below.
+  CheckpointStore store(dir, spec);
+  ASSERT_TRUE(fs::remove(store.blob_path(1)));
+  const Report resumed = run_campaign(spec, copts, &sched);
+  EXPECT_EQ(resumed.checkpoint.resumed, 3u);
+  EXPECT_EQ(resumed.checkpoint.executed, 1u);
+  EXPECT_EQ(resumed.to_json(), full.to_json());
+  fs::remove_all(dir);
+}
+
+TEST(SatEscalationCampaign, EscalationOnlyRaisesCoverage) {
+  Scheduler sched(2);
+  CampaignSpec off = sat_spec();
+  off.pipeline.atpg.sat_escalate = false;
+  const Report base = run_campaign(off, {}, &sched);
+  const Report sat = run_campaign(sat_spec(), {}, &sched);
+  ASSERT_EQ(base.runs.size(), sat.runs.size());
+  ASSERT_TRUE(base.all_ok());
+
+  for (std::size_t i = 0; i < base.runs.size(); ++i) {
+    // Escalation-off reports must not mention SAT activity at all.
+    EXPECT_EQ(base.runs[i].sat_detected, 0u);
+    // Certified-redundant faults leave the universe and SAT-detected
+    // hard faults join the targets: the target list can only grow and
+    // achieved coverage (targets are all ATPG-detected) only rise.
+    EXPECT_GE(sat.runs[i].faults_targeted, base.runs[i].faults_targeted);
+    EXPECT_GE(sat.runs[i].coverage_percent() + 1e-9,
+              base.runs[i].coverage_percent())
+        << run_label(base.runs[i].spec);
+  }
+}
+
+}  // namespace
+}  // namespace fbist::campaign

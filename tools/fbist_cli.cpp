@@ -38,6 +38,11 @@
 //                            records the canonical failure
 //                            "run timeout: exceeded MS ms", checkpoints
 //                            like any other run, and the sweep continues
+//       --sat-escalate on|off  SAT escalation of PODEM-aborted faults
+//                            (default on): aborts become validated test
+//                            patterns or redundancy certificates; the
+//                            report's redundant/sat_detected columns
+//                            stay deterministic at any --jobs value
 //       --trace FILE         record scoped spans (pipeline stages, per-
 //                            worker tasks, steals, cache/checkpoint
 //                            events) and write a Chrome trace_event
@@ -105,7 +110,7 @@ int usage() {
   std::cerr <<
       "usage: fbist <command> [args]\n"
       "  info <circuit>\n"
-      "  atpg <circuit>\n"
+      "  atpg <circuit> [--sat-escalate on|off]\n"
       "  reseed <circuit> [--tpg K] [--cycles N] [--solver exact|greedy] [--out FILE]\n"
       "  replay <circuit> <rom-file>\n"
       "  tradeoff <circuit> [--tpg K]\n"
@@ -114,7 +119,8 @@ int usage() {
       "  campaign [spec.txt] [--circuits a,b,c] [--tpgs k1,k2] [--cycles n1,n2]\n"
       "           [--solvers exact|greedy] [--jobs N] [--json FILE] [--timings]\n"
       "           [--cache DIR] [--checkpoint DIR] [--shard I/N]\n"
-      "           [--run-timeout MS] [--trace FILE] [--metrics FILE]\n"
+      "           [--run-timeout MS] [--sat-escalate on|off]\n"
+      "           [--trace FILE] [--metrics FILE]\n"
       "  merge <spec.txt | --circuits ...> --checkpoint DIR [--checkpoint DIR2 ...]\n"
       "        [--json FILE] [--timings]\n"
       "  cache list <dir> | clear <dir> | evict <dir> <key>\n"
@@ -204,8 +210,19 @@ int cmd_info(const std::string& arg) {
   return 0;
 }
 
-int cmd_atpg(const std::string& arg) {
-  reseed::Pipeline p(load_circuit(arg), arg);
+int cmd_atpg(const std::string& arg, const std::vector<std::string>& args) {
+  reseed::PipelineOptions opts;
+  for (std::size_t i = 3; i < args.size(); ++i) {
+    if (args[i] == "--sat-escalate" && i + 1 < args.size()) {
+      const std::string& v = args[++i];
+      if (v != "on" && v != "off")
+        throw std::runtime_error("--sat-escalate: expected on|off");
+      opts.atpg.sat_escalate = v == "on";
+    } else {
+      throw std::runtime_error("unknown flag: " + args[i]);
+    }
+  }
+  reseed::Pipeline p(load_circuit(arg), arg, opts);
   const auto& r = p.atpg_result();
   std::cout << arg << ": " << p.atpg_patterns().size() << " patterns ("
             << r.random_patterns_used << " random-phase, "
@@ -213,7 +230,10 @@ int cmd_atpg(const std::string& arg) {
             << "  testable coverage: "
             << util::Table::fmt(r.testable_coverage_percent(), 2) << "%\n"
             << "  redundant faults: " << r.redundant_faults
-            << ", aborted: " << r.aborted_faults << "\n";
+            << ", aborted: " << r.aborted_faults << "\n"
+            << "  SAT escalation: " << r.sat_detected_faults
+            << " detected, " << r.sat_redundant_faults
+            << " certified redundant\n";
   return 0;
 }
 
@@ -396,6 +416,11 @@ CampaignArgs parse_campaign_args(const std::vector<std::string>& args) {
       // deterministic contiguous slices of the canonical run order.
       std::tie(out.copts.shard_index, out.copts.shard_count) =
           campaign::parse_shard_arg(need_value("--shard"));
+    } else if (args[i] == "--sat-escalate") {
+      const std::string v = need_value("--sat-escalate");
+      if (v != "on" && v != "off")
+        throw std::runtime_error("--sat-escalate: expected on|off");
+      out.spec.pipeline.atpg.sat_escalate = v == "on";
     } else if (args[i] == "--run-timeout") {
       out.copts.run_timeout_ms =
           campaign::parse_run_timeout_arg(need_value("--run-timeout"));
@@ -564,7 +589,7 @@ int main(int argc, char** argv) {
     if (args.size() < 3) return usage();
     const std::string& circuit = args[2];
     if (cmd == "info") return cmd_info(circuit);
-    if (cmd == "atpg") return cmd_atpg(circuit);
+    if (cmd == "atpg") return cmd_atpg(circuit, args);
     if (cmd == "reseed") return cmd_reseed(circuit, parse_flags(args, 3));
     if (cmd == "replay") {
       if (args.size() < 4) return usage();
